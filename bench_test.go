@@ -1,0 +1,182 @@
+// Benchmarks that regenerate each table and figure of the paper's
+// evaluation at test scale — one testing.B benchmark per artifact, all
+// driven by the shared harness in internal/bench (cmd/benchtab runs the
+// full-scale versions). The reported ns/op is the wall-clock of one
+// complete experiment regeneration; the interesting outputs (speedups,
+// energy reductions, tuning-time ratios) are reported as custom metrics.
+package approxtuner_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// benchCfg is sized so each experiment completes in seconds.
+func benchCfg() bench.Config {
+	return bench.Config{
+		Benchmarks:   []string{"lenet", "alexnet2"},
+		Images:       24,
+		Width:        0.125,
+		ImageNetSize: 32,
+		MaxIters:     300,
+		StallLimit:   150,
+		EmpIters:     60,
+		NCalibrate:   6,
+		MaxConfigs:   16,
+		Seed:         1,
+	}
+}
+
+func runExperiment(b *testing.B, metricKeys []string, run func(*bench.Session) *bench.Report) {
+	b.Helper()
+	b.ReportAllocs()
+	var last *bench.Report
+	for i := 0; i < b.N; i++ {
+		s := bench.NewSession(benchCfg())
+		last = run(s)
+	}
+	for _, k := range metricKeys {
+		if v, ok := last.Measures[k]; ok {
+			b.ReportMetric(v, k)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (benchmarks, layers, accuracy,
+// search-space sizes).
+func BenchmarkTable1(b *testing.B) {
+	runExperiment(b, nil, bench.Table1)
+}
+
+// BenchmarkFig2a regenerates Fig. 2a/2b (GPU speedups and energy
+// reductions at ΔQoS 1/2/3% with hardware-independent knobs).
+func BenchmarkFig2a(b *testing.B) {
+	runExperiment(b, []string{"gpu_speedup_geomean_1pct", "gpu_speedup_geomean_3pct"}, bench.Fig2)
+}
+
+// BenchmarkFig2b reports the energy-reduction side of Fig. 2.
+func BenchmarkFig2b(b *testing.B) {
+	runExperiment(b, []string{"gpu_energy_geomean_1pct", "gpu_energy_geomean_3pct"}, bench.Fig2)
+}
+
+// BenchmarkFP16Only regenerates the §7.1 FP16-alone measurement.
+func BenchmarkFP16Only(b *testing.B) {
+	runExperiment(b, []string{"fp16_speedup_geomean"}, bench.FP16Only)
+}
+
+// BenchmarkCPUSpeedup regenerates the §7.1 CPU results (FP32-only curve).
+func BenchmarkCPUSpeedup(b *testing.B) {
+	runExperiment(b, []string{"cpu_speedup_geomean_3pct"}, bench.CPUSpeedup)
+}
+
+// BenchmarkTable3 regenerates Table 3 (knob mix of the best ΔQoS-3%
+// configuration).
+func BenchmarkTable3(b *testing.B) {
+	runExperiment(b, nil, bench.Table3)
+}
+
+// BenchmarkFirstLayer regenerates the §7.2 first-vs-last layer
+// sensitivity observation.
+func BenchmarkFirstLayer(b *testing.B) {
+	runExperiment(b, []string{"benchmarks_where_first_conv_hurts_more"}, bench.FirstLayerStudy)
+}
+
+// BenchmarkFig3 regenerates Fig. 3 (predictive Π1/Π2 vs empirical tuning
+// speedups).
+func BenchmarkFig3(b *testing.B) {
+	runExperiment(b, []string{"pi1_speedup_geomean", "pi2_speedup_geomean", "empirical_speedup_geomean"}, bench.Fig3)
+}
+
+// BenchmarkTable4 regenerates Table 4 (tuning-time reductions of
+// predictive over empirical tuning).
+func BenchmarkTable4(b *testing.B) {
+	runExperiment(b, []string{"pi1_tuning_speedup_geomean", "pi2_tuning_speedup_geomean"}, bench.Table4)
+}
+
+// BenchmarkCurveSize regenerates the §7.3 curve-size reduction numbers.
+func BenchmarkCurveSize(b *testing.B) {
+	runExperiment(b, []string{"curve_reduction_geomean"}, bench.CurveSize)
+}
+
+// BenchmarkFig4 regenerates Fig. 4 (install-time GPU+PROMISE energy
+// reductions via distributed predictive tuning).
+func BenchmarkFig4(b *testing.B) {
+	runExperiment(b, []string{"install_energy_pi1_geomean", "install_energy_pi2_geomean"}, bench.Fig4)
+}
+
+// BenchmarkFig5 regenerates Fig. 5 (power rails across the DVFS ladder).
+func BenchmarkFig5(b *testing.B) {
+	runExperiment(b, []string{"gpu_power_ratio", "sys_power_ratio"}, bench.Fig5)
+}
+
+// BenchmarkFig6 regenerates Fig. 6 (runtime adaptation under DVFS).
+func BenchmarkFig6(b *testing.B) {
+	runExperiment(b, nil, func(s *bench.Session) *bench.Report {
+		rows := bench.RunFig6(s, "alexnet2")
+		r := &bench.Report{Name: "fig6", Title: "runtime adaptation"}
+		last := rows[len(rows)-1]
+		r.AddMeasure("baseline_slowdown_319MHz", last.BaselineNormTime)
+		r.AddMeasure("adapted_time_319MHz", last.AdaptedNormTime)
+		return r
+	})
+}
+
+// BenchmarkFig7 regenerates Fig. 7 (CNN + Canny threshold grid).
+func BenchmarkFig7(b *testing.B) {
+	runExperiment(b, []string{"fig7_tightest_cell_speedup", "fig7_loosest_cell_speedup"}, func(s *bench.Session) *bench.Report {
+		// The composite benchmark only needs alexnet2.
+		return bench.Fig7(s)
+	})
+}
+
+// BenchmarkPruning regenerates the §8 pruning-interaction study.
+func BenchmarkPruning(b *testing.B) {
+	runExperiment(b, []string{"pruned_mac_reduction_geomean"}, func(s *bench.Session) *bench.Report {
+		return bench.Pruning(s)
+	})
+}
+
+// --- Ablation benchmarks (DESIGN.md §4) ---
+
+// BenchmarkPredictorAccuracy measures Π1/Π2 prediction quality.
+func BenchmarkPredictorAccuracy(b *testing.B) {
+	runExperiment(b, []string{"rank_Π1", "rank_Π2"}, func(s *bench.Session) *bench.Report {
+		return bench.PredictorAccuracy(s, "lenet", 16)
+	})
+}
+
+// BenchmarkAlphaCalibration measures the effect of the α regression.
+func BenchmarkAlphaCalibration(b *testing.B) {
+	runExperiment(b, []string{"rmse_alpha1", "rmse_calibrated"}, func(s *bench.Session) *bench.Report {
+		return bench.AlphaCalibration(s, "lenet", 16)
+	})
+}
+
+// BenchmarkEpsilonSweep measures PSε growth with ε.
+func BenchmarkEpsilonSweep(b *testing.B) {
+	runExperiment(b, []string{"candidates"}, func(s *bench.Session) *bench.Report {
+		return bench.EpsilonSweep(s, "lenet")
+	})
+}
+
+// BenchmarkTechniqueAblation compares the search ensemble vs random-only.
+func BenchmarkTechniqueAblation(b *testing.B) {
+	runExperiment(b, []string{"ensemble_best", "random_best"}, func(s *bench.Session) *bench.Report {
+		return bench.TechniqueAblation(s, "lenet")
+	})
+}
+
+// BenchmarkOffsetAblation compares the full offset knob space vs offset-0.
+func BenchmarkOffsetAblation(b *testing.B) {
+	runExperiment(b, []string{"speedup_all_offsets", "speedup_offset0"}, func(s *bench.Session) *bench.Report {
+		return bench.OffsetAblation(s, "alexnet2")
+	})
+}
+
+// BenchmarkRuntimePolicies compares runtime Policy 1 vs Policy 2.
+func BenchmarkRuntimePolicies(b *testing.B) {
+	runExperiment(b, []string{"misses_enforce", "misses_average"}, func(s *bench.Session) *bench.Report {
+		return bench.RuntimePolicies(s, "alexnet2")
+	})
+}

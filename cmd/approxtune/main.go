@@ -1,0 +1,90 @@
+// Command approxtune runs ApproxTuner's development-time phase on one of
+// the built-in CNN benchmarks and writes the shipped tradeoff curve as
+// JSON — the artifact the install-time phase consumes.
+//
+// Usage:
+//
+//	approxtune -benchmark resnet18 -max-qos-loss 2 -model pi1 -o curve.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	approxtuner "repro"
+	"repro/internal/models"
+)
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "lenet", "one of: "+strings.Join(models.Names(), ", "))
+		loss      = flag.Float64("max-qos-loss", 1.0, "acceptable accuracy loss in percentage points")
+		model     = flag.String("model", "pi2", "QoS prediction model: pi1, pi2, or empirical")
+		images    = flag.Int("images", 64, "dataset size (split 50/50 calibration/test)")
+		width     = flag.Float64("width", 0.25, "channel-width multiplier")
+		iters     = flag.Int("iters", 4000, "search iteration cap")
+		out       = flag.String("o", "", "write the shipped curve JSON to this file (default stdout)")
+		seed      = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	b := models.MustBuild(*benchmark, models.Scale{Images: *images, Width: *width, Seed: *seed})
+	calib, test := b.Dataset.Split()
+	app, err := approxtuner.NewCNNApp(b.Model.Graph, calib.Images, calib.Labels, test.Images, test.Labels)
+	if err != nil {
+		log.Fatalf("approxtune: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchmark %s: %d layers, baseline accuracy %.2f%%\n",
+		*benchmark, b.Model.Graph.LayerCount(), app.BaselineQoS)
+
+	spec := approxtuner.TuneSpec{
+		MaxQoSLoss: *loss,
+		MaxIters:   *iters,
+		Seed:       *seed,
+	}
+	switch strings.ToLower(*model) {
+	case "pi1", "π1":
+		spec.Model = approxtuner.Pi1
+	case "pi2", "π2", "":
+		spec.Model = approxtuner.Pi2
+	case "empirical":
+		spec.Empirical = true
+	default:
+		log.Fatalf("approxtune: unknown model %q", *model)
+	}
+
+	res, err := app.TuneDevelopmentTime(spec)
+	if err != nil {
+		log.Fatalf("approxtune: %v", err)
+	}
+	st := res.Stats
+	fmt.Fprintf(os.Stderr, "tuning done: %d iterations, %d candidates, %d validated, α=%.3f, total %v\n",
+		st.Iterations, st.Candidates, st.Validated, st.Alpha, st.Total.Round(1e6))
+	fmt.Fprintf(os.Stderr, "curve: %d points; best config at threshold: %s\n",
+		res.Curve.Len(), bestDescription(app, res))
+
+	data, err := approxtuner.SaveCurve(res.Curve)
+	if err != nil {
+		log.Fatalf("approxtune: %v", err)
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("approxtune: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "curve written to %s\n", *out)
+}
+
+func bestDescription(app *approxtuner.App, res *approxtuner.Result) string {
+	pt, ok := res.Curve.Best(res.Curve.BaselineQoS - 1e9)
+	if !ok {
+		return "(empty curve)"
+	}
+	return fmt.Sprintf("%s (predicted %.2fx, calib QoS %.2f, test QoS %.2f)",
+		approxtuner.DescribeConfig(pt.Config), pt.Perf, pt.QoS, app.Evaluate(pt.Config))
+}

@@ -1,0 +1,100 @@
+// Command installtune runs ApproxTuner's install-time phase for a
+// built-in benchmark: it reruns development-time tuning to obtain the
+// shipped curve and profiles, then refines on the chosen device —
+// including distributed predictive tuning over the PROMISE accelerator's
+// voltage knobs when the energy objective is selected.
+//
+// Usage:
+//
+//	installtune -benchmark alexnet2 -device gpu -objective energy -edges 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	approxtuner "repro"
+	"repro/internal/models"
+)
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "lenet", "one of: "+strings.Join(models.Names(), ", "))
+		devName   = flag.String("device", "gpu", "target device: gpu or cpu")
+		objective = flag.String("objective", "time", "optimize: time or energy")
+		edges     = flag.Int("edges", 8, "simulated edge devices for distributed tuning")
+		loss      = flag.Float64("max-qos-loss", 1.0, "acceptable accuracy loss (pp)")
+		images    = flag.Int("images", 64, "dataset size")
+		width     = flag.Float64("width", 0.25, "channel-width multiplier")
+		iters     = flag.Int("iters", 3000, "search iteration cap")
+		out       = flag.String("o", "", "write the final curve JSON to this file (default stdout)")
+		seed      = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	b := models.MustBuild(*benchmark, models.Scale{Images: *images, Width: *width, Seed: *seed})
+	calib, test := b.Dataset.Split()
+	app, err := approxtuner.NewCNNApp(b.Model.Graph, calib.Images, calib.Labels, test.Images, test.Labels)
+	if err != nil {
+		log.Fatalf("installtune: %v", err)
+	}
+
+	var dev *approxtuner.Device
+	switch strings.ToLower(*devName) {
+	case "gpu":
+		dev = approxtuner.TX2GPU()
+	case "cpu":
+		dev = approxtuner.TX2CPU()
+	default:
+		log.Fatalf("installtune: unknown device %q", *devName)
+	}
+
+	spec := approxtuner.TuneSpec{
+		MaxQoSLoss:  *loss,
+		MaxIters:    *iters,
+		Seed:        *seed,
+		DisableFP16: !dev.SupportsKnob(1), // FP32-only curve for the CPU
+	}
+
+	fmt.Fprintln(os.Stderr, "development-time tuning (hardware-independent knobs)...")
+	devRes, err := app.TuneDevelopmentTime(spec)
+	if err != nil {
+		log.Fatalf("installtune: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "shipped curve: %d points\n", devRes.Curve.Len())
+
+	obj := approxtuner.MinimizeTime
+	if strings.ToLower(*objective) == "energy" {
+		obj = approxtuner.MinimizeEnergy
+	}
+	fmt.Fprintf(os.Stderr, "install-time tuning on %s (%s objective, %d edge devices)...\n",
+		dev.Name, obj, *edges)
+	inst, err := app.TuneInstallTime(devRes, dev, spec, obj, *edges)
+	if err != nil {
+		log.Fatalf("installtune: %v", err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"final curve: %d points; edge profile phase %v, server tuning %v\n",
+		inst.Curve.Len(),
+		inst.Stats.EdgeProfileTime.Round(1e6), inst.Stats.ServerTuneTime.Round(1e6))
+	if pt, ok := inst.Curve.Best(app.BaselineQoS - *loss); ok {
+		fmt.Fprintf(os.Stderr, "best: %s → %.2fx (%s)\n",
+			approxtuner.DescribeConfig(pt.Config), pt.Perf, obj)
+	}
+
+	data, err := approxtuner.SaveCurve(inst.Curve)
+	if err != nil {
+		log.Fatalf("installtune: %v", err)
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("installtune: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "curve written to %s\n", *out)
+}

@@ -1,0 +1,56 @@
+// Command runtimedemo replays the paper's runtime-adaptation experiment
+// (§7.5, Fig. 6) for a built-in benchmark: the GPU steps down its DVFS
+// ladder while the runtime tuner swaps configurations off the shipped
+// tradeoff curve to hold the original batch time, trading accuracy.
+//
+// Usage:
+//
+//	runtimedemo -benchmark resnet18 -policy average
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/models"
+)
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "resnet18", "one of: "+strings.Join(models.Names(), ", "))
+		images    = flag.Int("images", 64, "dataset size")
+		width     = flag.Float64("width", 0.25, "channel-width multiplier")
+		seed      = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	s := bench.NewSession(bench.Config{
+		Benchmarks: []string{*benchmark},
+		Images:     *images,
+		Width:      *width,
+		Seed:       *seed,
+	})
+	known := false
+	for _, n := range models.Names() {
+		if n == *benchmark {
+			known = true
+		}
+	}
+	if !known {
+		log.Fatalf("runtimedemo: unknown benchmark %q", *benchmark)
+	}
+
+	rows := bench.RunFig6(s, *benchmark)
+	fmt.Printf("%-10s %-12s %-12s %-10s %-8s\n", "freq(MHz)", "base-time", "adapt-time", "accuracy", "switches")
+	for _, r := range rows {
+		fmt.Printf("%-10.0f %-12.2f %-12.2f %-10.2f %-8d\n",
+			r.FreqMHz, r.BaselineNormTime, r.AdaptedNormTime, r.AdaptedAccuracy, r.ConfigSwitches)
+	}
+	last := rows[len(rows)-1]
+	fmt.Printf("\nat %.0f MHz: baseline would slow %.2fx; adaptation holds %.2fx at %.2f pp accuracy cost\n",
+		last.FreqMHz, last.BaselineNormTime, last.AdaptedNormTime,
+		last.BaselineAccuracy-last.AdaptedAccuracy)
+}

@@ -1,0 +1,62 @@
+// Canny pipeline example: tune the combined CNN + image-processing
+// benchmark of the paper's §7.6 — an AlexNet2 classifier routing five of
+// ten classes into Canny edge detection — under a two-component QoS
+// (classification accuracy, edge-map PSNR). Only the Π2 predictor applies
+// because the classifier makes the output size configuration-dependent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	approxtuner "repro"
+	"repro/internal/canny"
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+func main() {
+	b := models.MustBuild("alexnet2", models.Scale{Images: 32, Width: 0.25, Seed: 5})
+	fmt.Printf("CNN baseline accuracy: %.2f%%\n", b.BaselineAcc)
+
+	// Threshold pair: at most 3pp accuracy loss (relative to the
+	// calibration-set baseline) AND PSNR ≥ 25 dB on the routed images'
+	// edge maps.
+	comp, err := canny.NewComposite(b, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	calibAcc, _ := comp.BaselinePair(core.Calib)
+	comp.SetThresholds(calibAcc-3, 25)
+	app, err := approxtuner.NewApp(comp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The composite's QoS scalar is the minimum threshold margin, so the
+	// quality budget is "stay feasible": MaxQoSLoss = baseline margin.
+	res, err := app.TuneDevelopmentTime(approxtuner.TuneSpec{
+		MaxQoSLoss: app.BaselineQoS, // QoSMin = 0: both thresholds must hold
+		Model:      approxtuner.Pi2,
+		MaxIters:   1500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gpu := approxtuner.TX2GPU()
+	fmt.Printf("\nfeasible configurations found: %d\n", res.Curve.Len())
+	for _, pt := range res.Curve.Points {
+		out := comp.Run(pt.Config, core.Calib, nil)
+		acc, psnr := comp.Decode(core.Calib, out)
+		fmt.Printf("  gpu %4.2fx  accuracy %6.2f%%  psnr %5.1f dB  %s\n",
+			app.MeasureSpeedup(pt.Config, gpu), acc, psnr,
+			approxtuner.DescribeConfig(pt.Config))
+	}
+	if best, ok := res.Curve.Best(0); ok {
+		out := comp.Run(best.Config, core.Test, nil)
+		acc, psnr := comp.Decode(core.Test, out)
+		fmt.Printf("\nbest feasible: %.2fx on GPU; test accuracy %.2f%%, test PSNR %.1f dB\n",
+			app.MeasureSpeedup(best.Config, gpu), acc, psnr)
+	}
+}

@@ -1,0 +1,59 @@
+// Distributed install-time tuning example (§4): edge devices collect
+// PROMISE voltage-knob QoS profiles on disjoint calibration shards; a
+// central server merges the profiles with the shipped software profiles,
+// runs predictive tuning over the combined knob space, scatters the
+// shortlist for validation, and unions the per-edge Pareto sets into the
+// final energy-optimized curve.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	approxtuner "repro"
+	"repro/internal/approx"
+	"repro/internal/models"
+)
+
+func main() {
+	b := models.MustBuild("alexnet", models.Scale{Images: 64, Width: 0.25, Seed: 13})
+	calib, test := b.Dataset.Split()
+	app, err := approxtuner.NewCNNApp(b.Model.Graph, calib.Images, calib.Labels, test.Images, test.Labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec := approxtuner.TuneSpec{MaxQoSLoss: 3, MaxIters: 2500}
+	fmt.Println("development time: hardware-independent tuning...")
+	dev, err := app.TuneDevelopmentTime(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  shipped curve: %d points\n", dev.Curve.Len())
+
+	gpu := approxtuner.TX2GPU()
+	const nEdge = 8
+	fmt.Printf("install time: distributed predictive tuning over PROMISE knobs (%d edge devices)...\n", nEdge)
+	inst, err := app.TuneInstallTime(dev, gpu, spec, approxtuner.MinimizeEnergy, nEdge)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  edge profile phase: %v   server autotuning: %v\n",
+		inst.Stats.EdgeProfileTime.Round(1e6), inst.Stats.ServerTuneTime.Round(1e6))
+	fmt.Printf("  final curve: %d points\n\n", inst.Curve.Len())
+
+	for _, pt := range inst.Curve.Points {
+		promiseOps := 0
+		for _, kid := range pt.Config {
+			if approx.MustLookup(kid).Kind == approx.KindPromise {
+				promiseOps++
+			}
+		}
+		fmt.Printf("  energy reduction %5.2fx  calib QoS %6.2f%%  PROMISE ops %d  %s\n",
+			pt.Perf, pt.QoS, promiseOps, approxtuner.DescribeConfig(pt.Config))
+	}
+	if best, ok := inst.Curve.Best(app.BaselineQoS - 3); ok {
+		fmt.Printf("\nbest within budget: %.2fx energy reduction at test accuracy %.2f%%\n",
+			best.Perf, app.Evaluate(best.Config))
+	}
+}

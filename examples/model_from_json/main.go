@@ -1,0 +1,101 @@
+// Model-from-JSON example: compile a network from a declarative JSON
+// description (the stand-in for the paper's Keras/PyTorch frontends),
+// tune it twice — once FP32-only, once with FP16 knobs — and package the
+// two curves into the dual-curve artifact the paper ships with the binary
+// (§3.5). The bundle then picks the right curve per device.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	approxtuner "repro"
+	"repro/internal/datasets"
+	"repro/internal/models"
+)
+
+const spec = `{
+  "name": "tiny_vgg",
+  "input": {"channels": 3, "height": 32, "width": 32},
+  "classes": 10,
+  "seed": 21,
+  "width_mult": 0.25,
+  "layers": [
+    {"type": "conv", "filters": 64, "kernel": 3, "pad": 1, "activation": "relu"},
+    {"type": "conv", "filters": 64, "kernel": 3, "pad": 1, "activation": "relu"},
+    {"type": "maxpool", "kernel": 2},
+    {"type": "conv", "filters": 128, "kernel": 3, "pad": 1, "activation": "relu"},
+    {"type": "maxpool", "kernel": 2},
+    {"type": "global_avg_pool"},
+    {"type": "dense", "units": 10},
+    {"type": "softmax"}
+  ]
+}`
+
+func main() {
+	g, classes, err := approxtuner.CompileModelJSON([]byte(spec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %q: %d layers, %d tunable ops, %d classes\n",
+		g.Name, g.LayerCount(), len(g.ApproxOps()), classes)
+
+	// Synthetic data with labels planted at 85% baseline accuracy.
+	ds := datasets.CIFARLike(64, classes, 22)
+	m := &models.Model{Graph: g, C: 3, H: 32, W: 32, Classes: classes}
+	models.PlantLabels(m, ds, 85, 32, 23)
+	calib, test := ds.Split()
+
+	app, err := approxtuner.NewCNNApp(g, calib.Images, calib.Labels, test.Images, test.Labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two development-time runs: FP16 availability is unknown at this
+	// stage, so ship both curves.
+	base := approxtuner.TuneSpec{MaxQoSLoss: 7, MaxIters: 1500, NCalibrate: 10}
+	fp32Spec := base
+	fp32Spec.DisableFP16 = true
+	fp32Res, err := app.TuneDevelopmentTime(fp32Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fp16Res, err := app.TuneDevelopmentTime(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bundle, err := app.ShipBundle(fp32Res, fp16Res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := bundle.Marshal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shipped bundle: %d bytes (FP32 curve %d points, FP16 curve %d points)\n",
+		len(data), bundle.FP32.Len(), bundle.FP16.Len())
+
+	// At install time each device loads the bundle and selects its curve.
+	loaded, err := approxtuner.LoadBundle(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range []*approxtuner.Device{approxtuner.TX2GPU(), approxtuner.TX2CPU()} {
+		curve := loaded.Select(d)
+		which := "FP32"
+		if curve == loaded.FP16 {
+			which = "FP16"
+		}
+		inst, err := app.RefineOnDevice(curve, d, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := "(baseline only)"
+		if pt, ok := inst.Curve.Best(app.BaselineQoS - 7); ok {
+			best = fmt.Sprintf("%.2fx via %s", pt.Perf, approxtuner.DescribeConfig(pt.Config))
+		}
+		fmt.Printf("  %-14s → %s curve, refined to %d points, best %s\n",
+			d.Name, which, inst.Curve.Len(), best)
+	}
+}

@@ -1,0 +1,133 @@
+// Package artifact implements the "shipped with the program binary"
+// packaging of tradeoff curves. §3.5 of the paper: because FP16 hardware
+// availability is unknown at development time, tuning produces two
+// separate curves — one FP32-only and one with FP16 variants — and the
+// install-time phase picks the curve matching the device's capabilities.
+// A Bundle carries both curves plus versioning metadata and an integrity
+// checksum, and selects the right curve for a device.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/approx"
+	"repro/internal/device"
+	"repro/internal/pareto"
+	"repro/internal/tensorops"
+)
+
+// FormatVersion is bumped on wire-format changes.
+const FormatVersion = 1
+
+// Bundle is the tuning artifact shipped alongside an application binary.
+type Bundle struct {
+	Version int    `json:"version"`
+	Program string `json:"program"`
+	// FP32 is the curve over FP32-precision knobs only; FP16 additionally
+	// uses half-precision knob variants. FP16 may be nil when the
+	// developer knows the fleet has no half-precision hardware.
+	FP32 *pareto.Curve `json:"fp32"`
+	FP16 *pareto.Curve `json:"fp16,omitempty"`
+	// Checksum covers the curves (hex SHA-256); verified on load.
+	Checksum string `json:"checksum"`
+}
+
+// New assembles a bundle from the development-time curves.
+func New(program string, fp32, fp16 *pareto.Curve) (*Bundle, error) {
+	if fp32 == nil || fp32.Len() == 0 {
+		return nil, fmt.Errorf("artifact: an FP32 curve is required (it is the universal fallback)")
+	}
+	if err := checkPrecision(fp32, false); err != nil {
+		return nil, err
+	}
+	if fp16 != nil {
+		if err := checkPrecision(fp16, true); err != nil {
+			return nil, err
+		}
+	}
+	b := &Bundle{Version: FormatVersion, Program: program, FP32: fp32, FP16: fp16}
+	sum, err := b.computeChecksum()
+	if err != nil {
+		return nil, err
+	}
+	b.Checksum = sum
+	return b, nil
+}
+
+// checkPrecision rejects curves whose knob precisions contradict their
+// slot: the FP32 curve must be runnable on devices without FP16 hardware.
+func checkPrecision(c *pareto.Curve, allowFP16 bool) error {
+	for _, pt := range c.Points {
+		for op, kid := range pt.Config {
+			k, ok := approx.Lookup(kid)
+			if !ok {
+				return fmt.Errorf("artifact: unknown knob %d on op %d", kid, op)
+			}
+			if !allowFP16 && k.Prec == tensorops.FP16 {
+				return fmt.Errorf("artifact: FP16 knob %s in the FP32-only curve (op %d)", k.Name(), op)
+			}
+		}
+	}
+	return nil
+}
+
+func (b *Bundle) computeChecksum() (string, error) {
+	payload := struct {
+		FP32 *pareto.Curve `json:"fp32"`
+		FP16 *pareto.Curve `json:"fp16,omitempty"`
+	}{b.FP32, b.FP16}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Select returns the curve matching a device's capabilities: the FP16
+// curve when the device supports half precision and the bundle carries
+// one, the FP32 curve otherwise.
+func (b *Bundle) Select(d *device.Device) *pareto.Curve {
+	if b.FP16 != nil && d.SupportsKnob(approx.KnobFP16) {
+		return b.FP16
+	}
+	return b.FP32
+}
+
+// Marshal serializes the bundle.
+func (b *Bundle) Marshal() ([]byte, error) {
+	return json.MarshalIndent(b, "", "  ")
+}
+
+// Load parses and verifies a bundle.
+func Load(data []byte) (*Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("artifact: bad bundle: %w", err)
+	}
+	if b.Version != FormatVersion {
+		return nil, fmt.Errorf("artifact: unsupported format version %d (want %d)", b.Version, FormatVersion)
+	}
+	if b.FP32 == nil {
+		return nil, fmt.Errorf("artifact: bundle lacks the FP32 curve")
+	}
+	sum, err := b.computeChecksum()
+	if err != nil {
+		return nil, err
+	}
+	if sum != b.Checksum {
+		return nil, fmt.Errorf("artifact: checksum mismatch (corrupted or tampered bundle)")
+	}
+	if err := checkPrecision(b.FP32, false); err != nil {
+		return nil, err
+	}
+	if b.FP16 != nil {
+		if err := checkPrecision(b.FP16, true); err != nil {
+			return nil, err
+		}
+	}
+	return &b, nil
+}

@@ -1,0 +1,119 @@
+package artifact
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/device"
+	"repro/internal/pareto"
+	"repro/internal/tensorops"
+)
+
+func fp32Curve() *pareto.Curve {
+	return pareto.NewCurve("bench", 90, []pareto.Point{
+		{QoS: 90, Perf: 1, Config: approx.Config{}},
+		{QoS: 88, Perf: 1.6, Config: approx.Config{1: approx.SamplingKnob(2, 0, tensorops.FP32)}},
+	})
+}
+
+func fp16Curve() *pareto.Curve {
+	return pareto.NewCurve("bench", 90, []pareto.Point{
+		{QoS: 90, Perf: 1.5, Config: approx.Config{1: approx.KnobFP16}},
+		{QoS: 87, Perf: 2.4, Config: approx.Config{1: approx.SamplingKnob(2, 0, tensorops.FP16)}},
+	})
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	b, err := New("bench", fp32Curve(), fp16Curve())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Program != "bench" || back.FP32.Len() != 2 || back.FP16.Len() != 2 {
+		t.Fatalf("bundle contents lost: %+v", back)
+	}
+}
+
+func TestBundleSelectByDevice(t *testing.T) {
+	b, err := New("bench", fp32Curve(), fp16Curve())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu := device.NewTX2GPU() // has FP16
+	cpu := device.NewTX2CPU() // no FP16
+	if got := b.Select(gpu); got != b.FP16 {
+		t.Error("GPU should get the FP16 curve")
+	}
+	if got := b.Select(cpu); got != b.FP32 {
+		t.Error("CPU should get the FP32 curve")
+	}
+	// Without an FP16 curve, everyone falls back to FP32.
+	b2, err := New("bench", fp32Curve(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b2.Select(gpu); got != b2.FP32 {
+		t.Error("missing FP16 curve must fall back to FP32")
+	}
+}
+
+func TestBundleRejectsFP16InFP32Slot(t *testing.T) {
+	if _, err := New("bench", fp16Curve(), nil); err == nil ||
+		!strings.Contains(err.Error(), "FP16 knob") {
+		t.Fatalf("FP16 knobs in the FP32 slot must be rejected, got %v", err)
+	}
+}
+
+func TestBundleRequiresFP32(t *testing.T) {
+	if _, err := New("bench", nil, fp16Curve()); err == nil {
+		t.Fatal("missing FP32 curve must be rejected")
+	}
+	empty := pareto.NewCurve("bench", 90, nil)
+	if _, err := New("bench", empty, nil); err == nil {
+		t.Fatal("empty FP32 curve must be rejected")
+	}
+}
+
+func TestBundleChecksumDetectsTampering(t *testing.T) {
+	b, err := New("bench", fp32Curve(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `"perf": 1.6`, `"perf": 9.9`, 1)
+	if tampered == string(data) {
+		t.Fatal("test setup: substring not found")
+	}
+	if _, err := Load([]byte(tampered)); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("tampered bundle must fail checksum, got %v", err)
+	}
+}
+
+func TestBundleVersionGate(t *testing.T) {
+	b, err := New("bench", fp32Curve(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := b.Marshal()
+	old := strings.Replace(string(data), `"version": 1`, `"version": 99`, 1)
+	if _, err := Load([]byte(old)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("wrong version must be rejected, got %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load([]byte("{")); err == nil {
+		t.Fatal("garbage must not load")
+	}
+}

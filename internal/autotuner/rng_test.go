@@ -1,0 +1,5 @@
+package autotuner
+
+import "repro/internal/tensor"
+
+func newTestRNG() *tensor.RNG { return tensor.NewRNG(99) }

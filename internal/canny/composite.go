@@ -1,0 +1,300 @@
+package canny
+
+import (
+	"fmt"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/qos"
+	"repro/internal/tensor"
+)
+
+// Composite is the combined CNN + image-processing benchmark of §7.6: an
+// AlexNet2 CIFAR-10 classifier whose predictions route images from five
+// of the ten classes into Canny edge detection. It implements
+// core.Program with a two-component QoS: the tuning scalar is the minimum
+// margin over the (accuracy, PSNR) thresholds, so a configuration is
+// feasible (scalar > 0) exactly when both thresholds hold.
+type Composite struct {
+	CNN   *graph.Graph
+	Canny *graph.Graph
+	// EdgeClasses are the classes routed into edge detection.
+	EdgeClasses map[int]bool
+	// AccMin and PSNRMin are the §7.6 threshold pair under tuning.
+	AccMin, PSNRMin float64
+
+	calibImages, testImages *tensor.Tensor
+	calibLabels, testLabels []int
+	goldCalib, goldTest     *tensor.Tensor // baseline edge maps for every image
+	classes                 int
+	offset                  int // canny op IDs are offset by this in configs
+	costs                   []graph.NodeCost
+
+	// Baseline caches for the fast profile-collection path.
+	cnnBaseCalib, cnnBaseTest     []*tensor.Tensor
+	cannyBaseCalib, cannyBaseTest []*tensor.Tensor // over the baseline-routed subbatch
+	baseSelCalib, baseSelTest     []int
+}
+
+// SetThresholds retargets the QoS threshold pair without recomputing the
+// gold edge maps, letting one composite serve the Fig. 7 grid.
+func (c *Composite) SetThresholds(accMin, psnrMin float64) {
+	c.AccMin, c.PSNRMin = accMin, psnrMin
+}
+
+// BaselinePair returns the exact-execution (accuracy, PSNR) on an input
+// set; threshold grids are defined relative to these.
+func (c *Composite) BaselinePair(set core.InputSet) (acc, psnr float64) {
+	return c.Decode(set, c.Run(nil, set, nil))
+}
+
+// NewComposite assembles the benchmark from a built CNN benchmark.
+// The five even classes are routed to edge detection.
+func NewComposite(b *models.Benchmark, accMin, psnrMin float64) (*Composite, error) {
+	calib, test := b.Dataset.Split()
+	cannyG := Pipeline(b.Model.C, 0.08, 0.2)
+	c := &Composite{
+		CNN:         b.Model.Graph,
+		Canny:       cannyG,
+		EdgeClasses: map[int]bool{0: true, 2: true, 4: true, 6: true, 8: true},
+		AccMin:      accMin,
+		PSNRMin:     psnrMin,
+		calibImages: calib.Images,
+		testImages:  test.Images,
+		calibLabels: calib.Labels,
+		testLabels:  test.Labels,
+		classes:     b.Dataset.Classes,
+		offset:      len(b.Model.Graph.Nodes),
+	}
+	// Gold edge maps: the exact pipeline on every image of each set.
+	c.goldCalib = cannyG.Execute(calib.Images, nil, graph.ExecOptions{})
+	c.goldTest = cannyG.Execute(test.Images, nil, graph.ExecOptions{})
+
+	cnnCosts, err := b.Model.Graph.Costs(calib.Images.Shape())
+	if err != nil {
+		return nil, err
+	}
+	// Canny runs on roughly half the batch (5 of 10 classes).
+	half := calib.Images.Dim(0) / 2
+	if half < 1 {
+		half = 1
+	}
+	halfShape := tensor.NewShape(half, calib.Images.Dim(1), calib.Images.Dim(2), calib.Images.Dim(3))
+	cannyCosts, err := cannyG.Costs(halfShape)
+	if err != nil {
+		return nil, err
+	}
+	costs := append([]graph.NodeCost{}, cnnCosts...)
+	for _, cc := range cannyCosts {
+		cc.ID += c.offset
+		costs = append(costs, cc)
+	}
+	c.costs = costs
+	return c, nil
+}
+
+// Name implements core.Program.
+func (c *Composite) Name() string { return "alexnet2_canny" }
+
+// Ops implements core.Program: the CNN's approximable ops plus the Canny
+// pipeline's, the latter offset to keep config keys unique.
+func (c *Composite) Ops() []int {
+	ops := append([]int{}, c.CNN.ApproxOps()...)
+	for _, op := range c.Canny.ApproxOps() {
+		ops = append(ops, op+c.offset)
+	}
+	return ops
+}
+
+// OpClass implements core.Program.
+func (c *Composite) OpClass(op int) approx.OpClass {
+	if op >= c.offset {
+		return c.Canny.Nodes[op-c.offset].Kind.Class()
+	}
+	return c.CNN.Nodes[op].Kind.Class()
+}
+
+// Costs implements core.Program.
+func (c *Composite) Costs() []graph.NodeCost { return c.costs }
+
+// FixedOutputShape implements core.Program: the classifier decides how
+// many images reach the edge detector, so the raw output size varies and
+// Π1 does not apply (§7.6).
+func (c *Composite) FixedOutputShape() bool { return false }
+
+func (c *Composite) split(cfg approx.Config) (cnnCfg, cannyCfg approx.Config) {
+	cnnCfg = make(approx.Config)
+	cannyCfg = make(approx.Config)
+	for op, k := range cfg {
+		if op >= c.offset {
+			cannyCfg[op-c.offset] = k
+		} else {
+			cnnCfg[op] = k
+		}
+	}
+	return
+}
+
+func (c *Composite) inputs(set core.InputSet) (*tensor.Tensor, []int, *tensor.Tensor) {
+	if set == core.Test {
+		return c.testImages, c.testLabels, c.goldTest
+	}
+	return c.calibImages, c.calibLabels, c.goldCalib
+}
+
+// Run implements core.Program. The raw output encodes the classifier's
+// probability tensor followed by the edge maps of the routed images, so
+// Score can recover both components (and the routing) from the output
+// alone.
+func (c *Composite) Run(cfg approx.Config, set core.InputSet, rng *tensor.RNG) *tensor.Tensor {
+	cnnCfg, cannyCfg := c.split(cfg)
+	images, _, _ := c.inputs(set)
+	probs := c.CNN.Execute(images, cnnCfg, graph.ExecOptions{RNG: rng})
+	return c.assemble(set, probs, cannyCfg, rng)
+}
+
+// assemble routes images by the classifier's predictions, computes (or
+// gathers) their edge maps, and encodes the combined raw output.
+func (c *Composite) assemble(set core.InputSet, probs *tensor.Tensor, cannyCfg approx.Config, rng *tensor.RNG) *tensor.Tensor {
+	images, _, gold := c.inputs(set)
+	preds := probs.RowArgMax()
+	selected := c.routed(preds)
+
+	chn, h, w := images.Dim(1), images.Dim(2), images.Dim(3)
+	per := chn * h * w
+	edgePer := h * w
+	var edgeData []float32
+	if len(selected) > 0 {
+		if baselineOnly(cannyCfg) {
+			// Exact pipeline requested: the per-image gold edge maps are
+			// precomputed, so gather instead of re-running Canny.
+			edgeData = make([]float32, 0, len(selected)*edgePer)
+			for _, idx := range selected {
+				edgeData = append(edgeData, gold.Data()[idx*edgePer:(idx+1)*edgePer]...)
+			}
+		} else {
+			sub := tensor.New(len(selected), chn, h, w)
+			for i, idx := range selected {
+				copy(sub.Data()[i*per:(i+1)*per], images.Data()[idx*per:(idx+1)*per])
+			}
+			edgeData = c.Canny.Execute(sub, cannyCfg, graph.ExecOptions{RNG: rng}).Data()
+		}
+	}
+
+	out := make([]float32, 0, probs.Elems()+len(edgeData))
+	out = append(out, probs.Data()...)
+	out = append(out, edgeData...)
+	return tensor.FromSlice(out, len(out))
+}
+
+func baselineOnly(cfg approx.Config) bool {
+	for _, k := range cfg {
+		if k != approx.KnobFP32 {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureBaselines populates the per-set caches backing RunSuffix.
+func (c *Composite) ensureBaselines(set core.InputSet) ([]*tensor.Tensor, []*tensor.Tensor, []int) {
+	cnnBase := &c.cnnBaseCalib
+	cannyBase := &c.cannyBaseCalib
+	baseSel := &c.baseSelCalib
+	if set == core.Test {
+		cnnBase, cannyBase, baseSel = &c.cnnBaseTest, &c.cannyBaseTest, &c.baseSelTest
+	}
+	if *cnnBase == nil {
+		images, _, _ := c.inputs(set)
+		*cnnBase = c.CNN.ExecuteAll(images, nil, graph.ExecOptions{})
+		probs := (*cnnBase)[c.CNN.Output]
+		*baseSel = c.routed(probs.RowArgMax())
+		if len(*baseSel) > 0 {
+			chn, h, w := images.Dim(1), images.Dim(2), images.Dim(3)
+			per := chn * h * w
+			sub := tensor.New(len(*baseSel), chn, h, w)
+			for i, idx := range *baseSel {
+				copy(sub.Data()[i*per:(i+1)*per], images.Data()[idx*per:(idx+1)*per])
+			}
+			*cannyBase = c.Canny.ExecuteAll(sub, nil, graph.ExecOptions{})
+		}
+	}
+	return *cnnBase, *cannyBase, *baseSel
+}
+
+// RunSuffix implements core.SuffixRunner: single-op profile runs reuse the
+// cached baselines. A CNN op re-executes only the CNN suffix (edge maps
+// come from the gold cache, since the Canny stage stays exact); a Canny op
+// re-executes only the Canny suffix on the baseline-routed subbatch.
+func (c *Composite) RunSuffix(op int, knob approx.KnobID, set core.InputSet, rng *tensor.RNG) *tensor.Tensor {
+	cnnBase, cannyBase, baseSel := c.ensureBaselines(set)
+	opts := graph.ExecOptions{RNG: rng}
+	if op < c.offset {
+		probs := c.CNN.ExecuteFrom(cnnBase, op, approx.Config{op: knob}, opts)
+		return c.assemble(set, probs, nil, rng)
+	}
+	probs := cnnBase[c.CNN.Output]
+	var edgeData []float32
+	if len(baseSel) > 0 {
+		cop := op - c.offset
+		edges := c.Canny.ExecuteFrom(cannyBase, cop, approx.Config{cop: knob}, opts)
+		edgeData = edges.Data()
+	}
+	out := make([]float32, 0, probs.Elems()+len(edgeData))
+	out = append(out, probs.Data()...)
+	out = append(out, edgeData...)
+	return tensor.FromSlice(out, len(out))
+}
+
+func (c *Composite) routed(preds []int) []int {
+	var sel []int
+	for i, p := range preds {
+		if c.EdgeClasses[p] {
+			sel = append(sel, i)
+		}
+	}
+	return sel
+}
+
+// Decode splits a raw output into accuracy and mean PSNR for the set.
+func (c *Composite) Decode(set core.InputSet, out *tensor.Tensor) (acc, psnr float64) {
+	images, labels, gold := c.inputs(set)
+	n := images.Dim(0)
+	k := c.classes
+	h, w := images.Dim(2), images.Dim(3)
+	probs := tensor.FromSlice(out.Data()[:n*k], n, k)
+	acc = qos.Accuracy{Labels: labels}.Score(probs)
+
+	preds := probs.RowArgMax()
+	selected := c.routed(preds)
+	edgeData := out.Data()[n*k:]
+	per := h * w
+	if len(edgeData) != len(selected)*per {
+		panic(fmt.Sprintf("canny: edge payload %d does not match %d routed images", len(edgeData), len(selected)))
+	}
+	if len(selected) == 0 {
+		return acc, 100 // nothing routed: image quality vacuously perfect
+	}
+	var sum float64
+	for i, idx := range selected {
+		got := tensor.FromSlice(edgeData[i*per:(i+1)*per], per)
+		want := tensor.FromSlice(gold.Data()[idx*per:(idx+1)*per], per)
+		sum += qos.PSNRValue(got, want)
+	}
+	return acc, sum / float64(len(selected))
+}
+
+// Score implements core.Program: the minimum threshold margin
+// min(acc − AccMin, psnr − PSNRMin). A configuration is feasible iff the
+// scalar is positive, so tuning uses QoSMin = 0.
+func (c *Composite) Score(set core.InputSet, out *tensor.Tensor) float64 {
+	acc, psnr := c.Decode(set, out)
+	mAcc := acc - c.AccMin
+	mPSNR := psnr - c.PSNRMin
+	if mAcc < mPSNR {
+		return mAcc
+	}
+	return mPSNR
+}

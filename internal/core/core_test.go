@@ -1,0 +1,516 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/pareto"
+	"repro/internal/predictor"
+	"repro/internal/qos"
+	"repro/internal/tensorops"
+)
+
+// buildTestProgram constructs a small LeNet benchmark program with
+// calibration/test split and shard support.
+func buildTestProgram(t testing.TB) (*GraphProgram, *models.Benchmark) {
+	t.Helper()
+	b := models.MustBuild("lenet", models.Scale{Images: 24, Width: 0.25, ImageNetSize: 32, Seed: 11})
+	calib, test := b.Dataset.Split()
+	gp, err := NewGraphProgram(b.Model.Graph, calib.Images, test.Images,
+		qos.Accuracy{Labels: calib.Labels}, qos.Accuracy{Labels: test.Labels})
+	if err != nil {
+		t.Fatalf("NewGraphProgram: %v", err)
+	}
+	gp.CalibMetricFor = func(lo, hi int) qos.Metric {
+		return qos.Accuracy{Labels: calib.Labels[lo:hi]}
+	}
+	return gp, b
+}
+
+// fastOpts keeps tuning runs quick in tests.
+func fastOpts(qosMin float64, model predictor.Model) Options {
+	return Options{
+		QoSMin:     qosMin,
+		Model:      model,
+		NCalibrate: 8,
+		MaxIters:   300,
+		StallLimit: 120,
+		MaxConfigs: 20,
+		Policy:     KnobPolicy{AllowFP16: true},
+		Seed:       5,
+	}
+}
+
+func TestCollectProfiles(t *testing.T) {
+	gp, _ := buildTestProgram(t)
+	profiles := CollectProfiles(gp, nil, func(op int) []approx.KnobID {
+		return KnobsFor(gp, op, KnobPolicy{AllowFP16: true})
+	}, nil)
+	if profiles.BaseQoS <= 0 {
+		t.Fatalf("baseline QoS = %v", profiles.BaseQoS)
+	}
+	if !profiles.SupportsPi1() {
+		t.Error("CNN profiles should support Π1")
+	}
+	// Every non-baseline (op,knob) pair must be profiled.
+	want := 0
+	for _, op := range gp.Ops() {
+		want += len(KnobsFor(gp, op, KnobPolicy{AllowFP16: true})) - 1 // minus FP32
+	}
+	if len(profiles.DeltaQ) != want {
+		t.Errorf("profiled %d pairs, want %d", len(profiles.DeltaQ), want)
+	}
+	// ΔQ entries should be ≤ 0 on average (approximations rarely help).
+	var sum float64
+	for _, dq := range profiles.DeltaQ {
+		sum += dq
+	}
+	if sum > 0 {
+		t.Errorf("mean ΔQ positive (%v) — approximations should hurt QoS on average", sum)
+	}
+}
+
+func TestSuffixProfileMatchesFullRun(t *testing.T) {
+	gp, _ := buildTestProgram(t)
+	op := gp.Ops()[0]
+	knob := approx.SamplingKnob(2, 0, tensorops.FP32)
+	fast := gp.RunSuffix(op, knob, Calib, nil)
+	slow := gp.Run(approx.Config{op: knob}, Calib, nil)
+	if gp.Score(Calib, fast) != gp.Score(Calib, slow) {
+		t.Fatal("suffix execution diverges from full execution")
+	}
+}
+
+func TestPredictiveTuneEndToEnd(t *testing.T) {
+	gp, b := buildTestProgram(t)
+	qosMin := b.BaselineAcc - 3 // ΔQoS 3%
+	for _, model := range []predictor.Model{predictor.Pi1, predictor.Pi2} {
+		res, err := PredictiveTune(gp, fastOpts(qosMin, model))
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if res.Curve.Len() == 0 {
+			t.Fatalf("%v: empty curve", model)
+		}
+		if res.Curve.Len() > 20 {
+			t.Errorf("%v: curve has %d points, cap is 20", model, res.Curve.Len())
+		}
+		// Every shipped point passed real QoS validation on calibration.
+		for _, pt := range res.Curve.Points {
+			if pt.QoS <= qosMin {
+				t.Errorf("%v: shipped point below threshold: %v", model, pt.QoS)
+			}
+			if pt.Perf <= 0 {
+				t.Errorf("%v: non-positive Perf %v", model, pt.Perf)
+			}
+		}
+		if res.Stats.Iterations == 0 || res.Stats.Alpha <= 0 {
+			t.Errorf("%v: stats incomplete: %+v", model, res.Stats)
+		}
+		// Some point should beat the baseline's performance.
+		if best, ok := res.Curve.Best(qosMin); !ok || best.Perf <= 1.0 {
+			t.Errorf("%v: no speedup found (best %+v)", model, best)
+		}
+	}
+}
+
+func TestEmpiricalTuneEndToEnd(t *testing.T) {
+	gp, b := buildTestProgram(t)
+	qosMin := b.BaselineAcc - 3
+	o := fastOpts(qosMin, 0)
+	o.MaxIters = 150
+	res, err := EmpiricalTune(gp, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Curve.Len() == 0 {
+		t.Fatal("empirical tuning found nothing")
+	}
+	for _, pt := range res.Curve.Points {
+		if pt.QoS <= qosMin {
+			t.Errorf("point below threshold: %v", pt.QoS)
+		}
+	}
+}
+
+func TestPredictiveFasterThanEmpirical(t *testing.T) {
+	// The headline claim (Table 4): predictive tuning runs the binary only
+	// for profiles + validation, so at equal iteration counts it must be
+	// substantially faster than empirical tuning.
+	gp, b := buildTestProgram(t)
+	qosMin := b.BaselineAcc - 3
+	o := fastOpts(qosMin, predictor.Pi2)
+	o.MaxIters, o.StallLimit = 400, 400
+	pred, err := PredictiveTune(gp, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, err := EmpiricalTune(gp, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emp.Stats.Total < pred.Stats.Total {
+		t.Errorf("empirical (%v) should be slower than predictive (%v)", emp.Stats.Total, pred.Stats.Total)
+	}
+}
+
+func TestRefineCurveSoftwareOnly(t *testing.T) {
+	gp, b := buildTestProgram(t)
+	qosMin := b.BaselineAcc - 3
+	res, err := PredictiveTune(gp, fastOpts(qosMin, predictor.Pi2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu := device.NewTX2GPU()
+	ref, err := RefineCurve(gp, res.Curve, InstallOptions{
+		Options: fastOpts(qosMin, predictor.Pi2),
+		Device:  gpu,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Curve.Len() == 0 {
+		t.Fatal("refined curve empty")
+	}
+	if ref.Curve.BaselineTime <= 0 {
+		t.Error("refined curve lacks baseline time")
+	}
+	// Refined Perf values are device speedups; all positive, frontier
+	// sorted.
+	for i, pt := range ref.Curve.Points {
+		if pt.Perf <= 0 {
+			t.Errorf("point %d Perf %v", i, pt.Perf)
+		}
+	}
+}
+
+func TestRefineCurveCPUDropsFP16(t *testing.T) {
+	gp, b := buildTestProgram(t)
+	qosMin := b.BaselineAcc - 3
+	res, err := PredictiveTune(gp, fastOpts(qosMin, predictor.Pi2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := device.NewTX2CPU()
+	ref, err := RefineCurve(gp, res.Curve, InstallOptions{Options: fastOpts(qosMin, predictor.Pi2), Device: cpu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range ref.Curve.Points {
+		for _, kid := range pt.Config {
+			if !cpu.SupportsKnob(kid) {
+				t.Fatalf("CPU curve contains unsupported knob %d", kid)
+			}
+		}
+	}
+}
+
+func TestInstallTuneDistributed(t *testing.T) {
+	gp, b := buildTestProgram(t)
+	qosMin := b.BaselineAcc - 3
+	dev, err := PredictiveTune(gp, fastOpts(qosMin, predictor.Pi2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu := device.NewTX2GPU()
+	res, err := InstallTune(gp, dev.Profiles, InstallOptions{
+		Options:   fastOpts(qosMin, predictor.Pi2),
+		Device:    gpu,
+		Objective: MinimizeEnergy,
+		NEdge:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Curve.Len() == 0 {
+		t.Fatal("install-time curve empty")
+	}
+	// Energy objective: expect energy reductions > 1 for approximations,
+	// and at least one PROMISE knob should appear somewhere in the curve
+	// (the accelerator is the point of the experiment).
+	foundPromise := false
+	for _, pt := range res.Curve.Points {
+		for _, kid := range pt.Config {
+			if approx.MustLookup(kid).Kind == approx.KindPromise {
+				foundPromise = true
+			}
+		}
+	}
+	if !foundPromise {
+		t.Log("note: no PROMISE knob in final curve (possible but unusual)")
+	}
+	if res.Stats.EdgeProfileTime <= 0 || res.Stats.ServerTuneTime <= 0 {
+		t.Errorf("distributed timings missing: %+v", res.Stats)
+	}
+}
+
+func TestInstallTuneRequiresDevice(t *testing.T) {
+	gp, _ := buildTestProgram(t)
+	if _, err := InstallTune(gp, predictor.NewProfiles(90, nil), InstallOptions{}); err == nil {
+		t.Fatal("missing device must error")
+	}
+	if _, err := RefineCurve(gp, &pareto.Curve{}, InstallOptions{}); err == nil {
+		t.Fatal("missing device must error")
+	}
+}
+
+func TestShardProgram(t *testing.T) {
+	gp, _ := buildTestProgram(t)
+	n := gp.NumCalib()
+	sp, err := gp.Shard(0, n/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sp.Run(nil, Calib, nil)
+	if out.Dim(0) != n/2 {
+		t.Fatalf("shard output batch %d, want %d", out.Dim(0), n/2)
+	}
+	score := sp.Score(Calib, out)
+	if score < 0 || score > 100 {
+		t.Fatalf("shard QoS %v", score)
+	}
+	if _, err := gp.Shard(5, 2); err == nil {
+		t.Error("reversed shard bounds must error")
+	}
+}
+
+func TestRuntimePolicy2MixMatchesPaperExample(t *testing.T) {
+	// §5: PerfT = 1.3 with neighbors 1.2 and 1.5 → probabilities 2/3, 1/3.
+	curve := pareto.NewCurve("x", 90, []pareto.Point{
+		{QoS: 90, Perf: 1.0, Config: approx.Config{}},
+		{QoS: 89, Perf: 1.2, Config: approx.Config{0: 1}},
+		{QoS: 88, Perf: 1.5, Config: approx.Config{0: 10}},
+	})
+	rt, err := NewRuntimeTuner(curve, PolicyAverage, 1.0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	below, above, p1, p2 := rt.MixProbabilities(1.3)
+	if below.Perf != 1.2 || above.Perf != 1.5 {
+		t.Fatalf("bracket = %v..%v", below.Perf, above.Perf)
+	}
+	if math.Abs(p1-2.0/3) > 1e-9 || math.Abs(p2-1.0/3) > 1e-9 {
+		t.Fatalf("mix = %v,%v want 2/3,1/3", p1, p2)
+	}
+	// Expected mixture hits the target: p1·1.2 + p2·1.5 = 1.3.
+	if got := p1*below.Perf + p2*above.Perf; math.Abs(got-1.3) > 1e-9 {
+		t.Fatalf("mixture performance = %v", got)
+	}
+}
+
+func TestRuntimeTunerRespondsToSlowdown(t *testing.T) {
+	curve := pareto.NewCurve("x", 90, []pareto.Point{
+		{QoS: 90, Perf: 1.0, Config: approx.Config{}},
+		{QoS: 88.5, Perf: 1.4, Config: approx.Config{0: 1}},
+		{QoS: 87, Perf: 1.9, Config: approx.Config{0: 10}},
+	})
+	rt, err := NewRuntimeTuner(curve, PolicyEnforce, 0.1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.CurrentPoint().Perf != 1.0 {
+		t.Fatalf("initial point should be the exact one, got %v", rt.CurrentPoint().Perf)
+	}
+	// System slows down 1.5×: invocations take 0.15 s under the baseline.
+	rt.RecordInvocation(0.15)
+	rt.RecordInvocation(0.15)
+	if rt.CurrentPoint().Perf < 1.5 {
+		t.Errorf("tuner should escalate to ≥1.5 speedup, got %v", rt.CurrentPoint().Perf)
+	}
+	// System recovers: with the 1.9 config, invocations now take
+	// 0.1/1.9 s — window average drops and the tuner should relax.
+	fast := 0.1 / rt.CurrentPoint().Perf
+	rt.RecordInvocation(fast)
+	rt.RecordInvocation(fast)
+	if rt.CurrentPoint().Perf > 1.1 {
+		t.Errorf("tuner should relax after recovery, still at %v", rt.CurrentPoint().Perf)
+	}
+	if rt.Switches() < 2 {
+		t.Errorf("expected at least 2 switches, got %d", rt.Switches())
+	}
+}
+
+func TestRuntimeTunerEnforceUnreachableTarget(t *testing.T) {
+	curve := pareto.NewCurve("x", 90, []pareto.Point{
+		{QoS: 90, Perf: 1.0, Config: approx.Config{}},
+		{QoS: 88, Perf: 1.5, Config: approx.Config{0: 1}},
+	})
+	rt, err := NewRuntimeTuner(curve, PolicyEnforce, 0.1, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.RecordInvocation(1.0) // 10× slowdown: nothing reaches it
+	if rt.CurrentPoint().Perf != 1.5 {
+		t.Errorf("should degrade to the fastest available point, got %v", rt.CurrentPoint().Perf)
+	}
+}
+
+func TestRuntimeTunerValidation(t *testing.T) {
+	if _, err := NewRuntimeTuner(&pareto.Curve{}, PolicyEnforce, 1, 1, 1); err == nil {
+		t.Error("empty curve must error")
+	}
+	c := pareto.NewCurve("x", 90, []pareto.Point{{QoS: 90, Perf: 1}})
+	if _, err := NewRuntimeTuner(c, PolicyEnforce, 0, 1, 1); err == nil {
+		t.Error("zero target must error")
+	}
+	if _, err := NewRuntimeTuner(c, PolicyEnforce, 1, 0, 1); err == nil {
+		t.Error("zero window must error")
+	}
+}
+
+func TestKnobPolicyFiltersFP16(t *testing.T) {
+	gp, _ := buildTestProgram(t)
+	convOp := gp.Ops()[0]
+	withFP16 := KnobsFor(gp, convOp, KnobPolicy{AllowFP16: true})
+	fp32Only := KnobsFor(gp, convOp, KnobPolicy{AllowFP16: false})
+	if len(fp32Only) >= len(withFP16) {
+		t.Errorf("FP32-only set (%d) should be smaller than full set (%d)", len(fp32Only), len(withFP16))
+	}
+	for _, id := range fp32Only {
+		k := approx.MustLookup(id)
+		if k.Prec == tensorops.FP16 {
+			t.Errorf("FP16 knob %s leaked into FP32-only policy", k.Name())
+		}
+	}
+	hw := KnobsFor(gp, convOp, KnobPolicy{IncludeHardware: true, AllowFP16: true})
+	if len(hw) != 63 {
+		t.Errorf("conv knobs with hardware = %d, want 63", len(hw))
+	}
+}
+
+func TestPi1RejectedForVariableShapes(t *testing.T) {
+	gp, b := buildTestProgram(t)
+	vp := &variableShapeProgram{gp}
+	_, err := PredictiveTune(vp, fastOpts(b.BaselineAcc-3, predictor.Pi1))
+	if err == nil {
+		t.Fatal("Π1 on variable-shape program must error (§8)")
+	}
+}
+
+// variableShapeProgram wraps a program reporting variable output shapes.
+type variableShapeProgram struct{ *GraphProgram }
+
+func (v *variableShapeProgram) FixedOutputShape() bool { return false }
+
+func TestPowerGovernorRespectsCap(t *testing.T) {
+	curve := pareto.NewCurve("x", 90, []pareto.Point{
+		{QoS: 90, Perf: 1.0, Config: approx.Config{}},
+		{QoS: 88, Perf: 1.6, Config: approx.Config{1: approx.KnobFP16}},
+		{QoS: 86, Perf: 2.4, Config: approx.Config{1: approx.SamplingKnob(2, 0, tensorops.FP16)}},
+	})
+	gpu := device.NewTX2GPU()
+	costs := []graph.NodeCost{{ID: 1, Nc: 2e8, Nm: 4e6}}
+	gpu.SetFrequencyMHz(device.Freqs[0])
+	target := gpu.Time(costs, nil)
+	rt, err := NewRuntimeTuner(curve, PolicyEnforce, target, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov, err := NewPowerGovernor(gpu, rt, costs, 9.0, device.Freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastRep StepReport
+	for i := 0; i < 10; i++ {
+		lastRep = gov.Step()
+		if lastRep.SysW > 9.0+1e-9 {
+			t.Fatalf("step %d: system power %v exceeds the 9 W cap", i, lastRep.SysW)
+		}
+	}
+	// The cap forces a lower frequency; the tuner should have escalated to
+	// a faster configuration to compensate.
+	if lastRep.FreqMHz >= device.Freqs[0] {
+		t.Error("cap of 9 W should have forced a frequency below maximum")
+	}
+	if lastRep.Point.Perf <= 1.0 {
+		t.Errorf("runtime tuner should compensate with approximation, still at %vx", lastRep.Point.Perf)
+	}
+	// Raising the cap back returns to full frequency.
+	gov.SetCap(100)
+	rep := gov.Step()
+	if rep.FreqMHz != device.Freqs[0] {
+		t.Errorf("generous cap should allow max frequency, got %v", rep.FreqMHz)
+	}
+}
+
+func TestPowerGovernorValidation(t *testing.T) {
+	gpu := device.NewTX2GPU()
+	curve := pareto.NewCurve("x", 90, []pareto.Point{{QoS: 90, Perf: 1, Config: approx.Config{}}})
+	rt, _ := NewRuntimeTuner(curve, PolicyEnforce, 1, 1, 1)
+	if _, err := NewPowerGovernor(nil, rt, nil, 5, device.Freqs); err == nil {
+		t.Error("nil device must be rejected")
+	}
+	if _, err := NewPowerGovernor(gpu, rt, nil, -1, device.Freqs); err == nil {
+		t.Error("negative cap must be rejected")
+	}
+	if _, err := NewPowerGovernor(gpu, rt, nil, 5, nil); err == nil {
+		t.Error("empty ladder must be rejected")
+	}
+	// OverCap is reported when even the floor exceeds an absurd cap.
+	gov, err := NewPowerGovernor(gpu, rt, []graph.NodeCost{{ID: 0, Nc: 1e6, Nm: 1e4}}, 0.5, device.Freqs)
+	_ = err
+	if gov == nil {
+		t.Fatal("governor should build")
+	}
+	rep := gov.Step()
+	if !rep.OverCap {
+		t.Error("0.5 W cap is unreachable; OverCap should be true")
+	}
+}
+
+func TestInt8ExtensionKnob(t *testing.T) {
+	gp, b := buildTestProgram(t)
+	convOp := gp.Ops()[0]
+	// The extension knob is opt-in: absent by default, present with the
+	// policy flag, and only on conv/matmul classes.
+	def := KnobsFor(gp, convOp, KnobPolicy{AllowFP16: true})
+	ext := KnobsFor(gp, convOp, KnobPolicy{AllowFP16: true, IncludeInt8: true})
+	if len(ext) != len(def)+1 {
+		t.Fatalf("IncludeInt8 should add exactly one knob: %d vs %d", len(ext), len(def))
+	}
+	found := false
+	for _, id := range ext {
+		if id == approx.KnobInt8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("INT8 knob missing from extended set")
+	}
+	// Pool ops never get it.
+	for _, op := range gp.Ops() {
+		if gp.OpClass(op) == approx.OpReduce {
+			for _, id := range KnobsFor(gp, op, KnobPolicy{AllowFP16: true, IncludeInt8: true}) {
+				if id == approx.KnobInt8 {
+					t.Fatal("INT8 knob leaked onto a reduction op")
+				}
+			}
+		}
+	}
+	// End-to-end: tuning with the extension enabled produces a valid curve
+	// whose configs execute.
+	o := fastOpts(b.BaselineAcc-10, predictor.Pi2)
+	o.Policy.IncludeInt8 = true
+	res, err := PredictiveTune(gp, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Curve.Len() == 0 {
+		t.Fatal("empty curve with INT8 enabled")
+	}
+	for _, pt := range res.Curve.Points {
+		if err := gp.Graph.ValidateConfig(pt.Config); err != nil {
+			t.Fatalf("invalid shipped config: %v", err)
+		}
+	}
+	// Direct execution under the INT8 knob works and perturbs the output.
+	out := gp.Run(approx.Config{convOp: approx.KnobInt8}, Calib, nil)
+	base := gp.BaselineOut(Calib)
+	if out.Shape().Equal(base.Shape()) == false {
+		t.Fatal("INT8 execution changed output shape")
+	}
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/approx"
+	"repro/internal/autotuner"
+	"repro/internal/pareto"
+	"repro/internal/predictor"
+	"repro/internal/tensor"
+)
+
+// Options configures a development-time tuning run.
+type Options struct {
+	// QoSMin is the minimal acceptable QoS (absolute, same units as the
+	// program's metric) — Algorithm 1's QoS_min.
+	QoSMin float64
+	// Model selects the error-composition model (Π1 or Π2) for predictive
+	// tuning; ignored by EmpiricalTune.
+	Model predictor.Model
+	// NCalibrate is the number of measured configurations used to fit α
+	// (paper: "50 are sufficient").
+	NCalibrate int
+	// MaxIters / StallLimit bound the search (paper: 30K / 1K).
+	MaxIters   int
+	StallLimit int
+	// MaxConfigs bounds both the validated set and the shipped curve
+	// (§6.4: at most 50 configurations are retained; ε1, ε2 are derived).
+	MaxConfigs int
+	// Policy selects the knob space (hardware knobs, FP16 availability).
+	Policy KnobPolicy
+	// Profiles, when non-nil, skips profile collection and reuses the
+	// given tables (distributed install-time tuning supplies merged
+	// profiles this way).
+	Profiles *predictor.Profiles
+	// PerfModel, when set, replaces the hardware-agnostic Eq. 3 predictor
+	// as the Perf objective — §3.1: "tuning other goals such as energy
+	// savings by providing a corresponding prediction model".
+	PerfModel func(approx.Config) float64
+	Seed      int64
+}
+
+func (o Options) norm() Options {
+	if o.Model == 0 {
+		o.Model = predictor.Pi2
+	}
+	if o.NCalibrate == 0 {
+		o.NCalibrate = 50
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 30000
+	}
+	if o.StallLimit == 0 {
+		o.StallLimit = 1000
+	}
+	if o.MaxConfigs == 0 {
+		o.MaxConfigs = 50
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Stats reports how a tuning run went — the raw material of Table 4 and
+// the curve-size discussion in §7.3.
+type Stats struct {
+	Iterations    int
+	Candidates    int           // configurations passing the predicted-QoS gate
+	RawConfigs    int           // all configurations the search generated
+	Validated     int           // configurations surviving QoS validation
+	Alpha         float64       // fitted predictor coefficient
+	ProfileTime   time.Duration // step 1
+	CalibrateTime time.Duration // step 2
+	SearchTime    time.Duration // step 3
+	ValidateTime  time.Duration // steps 4–5
+	Total         time.Duration
+}
+
+// Result is a completed tuning run: the tradeoff curve plus stats and the
+// profiles (reusable at install time).
+type Result struct {
+	Curve    *pareto.Curve
+	Stats    Stats
+	Profiles *predictor.Profiles
+}
+
+// PredictiveTune is Algorithm 1: profile collection, predictor
+// calibration, model-driven search, tradeoff-curve construction, and QoS
+// validation.
+func PredictiveTune(p Program, o Options) (*Result, error) {
+	o = o.norm()
+	if o.Model == predictor.Pi1 && !p.FixedOutputShape() {
+		return nil, fmt.Errorf("core: program %q has variable output shapes; Π1 requires fixed shapes (§8)", p.Name())
+	}
+	watch := NewStopwatch()
+	total := NewStopwatch()
+	rng := tensor.NewRNG(o.Seed)
+	var st Stats
+
+	// Step 1: collect QoS profiles (lines 12–15).
+	profiles := o.Profiles
+	if profiles == nil {
+		profiles = CollectProfiles(p, nil, func(op int) []approx.KnobID {
+			return KnobsFor(p, op, o.Policy)
+		}, rng.Split(1))
+	}
+	st.ProfileTime = watch.Lap()
+
+	// Step 2: initialize and calibrate the QoS predictor (lines 18–20).
+	scoreFn := func(out *tensor.Tensor) float64 { return p.Score(Calib, out) }
+	var qp *predictor.QoSPredictor
+	if o.Model == predictor.Pi1 {
+		qp = predictor.NewQoSPredictor(predictor.Pi1, profiles, scoreFn)
+	} else {
+		qp = predictor.NewQoSPredictor(predictor.Pi2, profiles, nil)
+	}
+	prob := problemFor(p, o.Policy)
+	calibRng := rng.Split(2)
+	samples := make([]predictor.Sample, 0, o.NCalibrate)
+	for i := 0; i < o.NCalibrate; i++ {
+		cfg := randomConfig(prob, calibRng)
+		out := p.Run(cfg, Calib, calibRng.Split(int64(i)))
+		samples = append(samples, predictor.Sample{Cfg: cfg, QoS: p.Score(Calib, out)})
+	}
+	st.Alpha = qp.Calibrate(samples)
+	st.CalibrateTime = watch.Lap()
+
+	// Step 3: autotune with the QoS and performance prediction models
+	// (lines 23–30).
+	perfOf := perfModel(p, o)
+	tuner := autotuner.New(prob, autotuner.Options{
+		MaxIters:   o.MaxIters,
+		StallLimit: o.StallLimit,
+		QoSMin:     o.QoSMin,
+		Seed:       o.Seed + 7,
+	})
+	seen := make(map[string]bool)
+	nOps := maxOp(p) + 1
+	// The exact baseline is always feasible; prime the search with it and
+	// keep it as a candidate so the curve is never empty.
+	baseCfg := baselineConfig(p)
+	tuner.Prime(baseCfg, autotuner.Feedback{QoS: profiles.BaseQoS, Perf: 1})
+	candidates := []pareto.Point{{QoS: profiles.BaseQoS, Perf: 1, Config: baseCfg}}
+	seen[baseCfg.Key(nOps)] = true
+	for !tuner.Done() {
+		cfg := tuner.Next()
+		predQoS := qp.Predict(cfg)
+		predPerf := perfOf(cfg)
+		tuner.Report(cfg, autotuner.Feedback{QoS: predQoS, Perf: predPerf})
+		st.RawConfigs++
+		if predQoS > o.QoSMin {
+			key := cfg.Key(nOps)
+			if !seen[key] {
+				seen[key] = true
+				candidates = append(candidates, pareto.Point{QoS: predQoS, Perf: predPerf, Config: cfg.Clone()})
+			}
+		}
+	}
+	st.Iterations = tuner.Iterations()
+	st.Candidates = len(candidates)
+	st.SearchTime = watch.Lap()
+
+	// Step 4: keep configurations within ε1 of the Pareto frontier
+	// (line 33), bounding the validation workload.
+	eps1 := pareto.EpsilonForLimit(candidates, o.MaxConfigs)
+	shortlist := pareto.Trim(pareto.RelaxedSet(candidates, eps1), o.MaxConfigs)
+
+	// Step 5: validate the predicted QoS empirically and filter
+	// (lines 36–41). The exact baseline is re-attached first: it is
+	// trivially valid and guarantees the shipped curve is never empty even
+	// when an optimistic predictor Pareto-dominates it out of the
+	// shortlist and every other candidate fails validation.
+	shortlist = ensureBaseline(shortlist, baseCfg, profiles.BaseQoS, nOps)
+	valRng := rng.Split(3)
+	var validated []pareto.Point
+	for i, pt := range shortlist {
+		out := p.Run(pt.Config, Calib, valRng.Split(int64(i)))
+		realQoS := p.Score(Calib, out)
+		if realQoS > o.QoSMin {
+			validated = append(validated, pareto.Point{QoS: realQoS, Perf: pt.Perf, Config: pt.Config})
+		}
+	}
+	st.Validated = len(validated)
+	eps2 := pareto.EpsilonForLimit(validated, o.MaxConfigs)
+	final := pareto.Trim(pareto.RelaxedSet(validated, eps2), o.MaxConfigs)
+	st.ValidateTime = watch.Lap()
+	st.Total = total.Lap()
+
+	curve := pareto.NewRelaxedCurve(p.Name(), profiles.BaseQoS, final)
+	return &Result{Curve: curve, Stats: st, Profiles: profiles}, nil
+}
+
+// EmpiricalTune is the conventional autotuning baseline the paper compares
+// against (§3, §7.3): every candidate configuration is evaluated by
+// actually running the program on the calibration inputs. Performance
+// still comes from the hardware-agnostic cost model, exactly as at
+// development time in the paper (real hardware is absent until install
+// time).
+func EmpiricalTune(p Program, o Options) (*Result, error) {
+	o = o.norm()
+	watch := NewStopwatch()
+	total := NewStopwatch()
+	rng := tensor.NewRNG(o.Seed)
+	var st Stats
+
+	perfOf := perfModel(p, o)
+	baseOut := baselineOutput(p, Calib)
+	baseQoS := p.Score(Calib, baseOut)
+
+	prob := problemFor(p, o.Policy)
+	tuner := autotuner.New(prob, autotuner.Options{
+		MaxIters:   o.MaxIters,
+		StallLimit: o.StallLimit,
+		QoSMin:     o.QoSMin,
+		Seed:       o.Seed + 7,
+	})
+	seen := make(map[string]bool)
+	nOps := maxOp(p) + 1
+	baseCfg := baselineConfig(p)
+	tuner.Prime(baseCfg, autotuner.Feedback{QoS: baseQoS, Perf: 1})
+	candidates := []pareto.Point{{QoS: baseQoS, Perf: 1, Config: baseCfg}}
+	seen[baseCfg.Key(nOps)] = true
+	i := 0
+	for !tuner.Done() {
+		cfg := tuner.Next()
+		out := p.Run(cfg, Calib, rng.Split(int64(i)))
+		realQoS := p.Score(Calib, out)
+		perf := perfOf(cfg)
+		tuner.Report(cfg, autotuner.Feedback{QoS: realQoS, Perf: perf})
+		st.RawConfigs++
+		if realQoS > o.QoSMin {
+			key := cfg.Key(nOps)
+			if !seen[key] {
+				seen[key] = true
+				candidates = append(candidates, pareto.Point{QoS: realQoS, Perf: perf, Config: cfg.Clone()})
+			}
+		}
+		i++
+	}
+	st.Iterations = tuner.Iterations()
+	st.Candidates = len(candidates)
+	st.SearchTime = watch.Lap()
+
+	eps2 := pareto.EpsilonForLimit(candidates, o.MaxConfigs)
+	final := pareto.Trim(pareto.RelaxedSet(candidates, eps2), o.MaxConfigs)
+	final = ensureBaseline(final, baseCfg, baseQoS, nOps)
+	st.Validated = len(final)
+	st.Total = total.Lap()
+
+	curve := pareto.NewRelaxedCurve(p.Name(), baseQoS, final)
+	return &Result{Curve: curve, Stats: st}, nil
+}
+
+// newSearchTuner builds the search engine with the options' bounds.
+func newSearchTuner(prob autotuner.Problem, o Options) *autotuner.Tuner {
+	return autotuner.New(prob, autotuner.Options{
+		MaxIters:   o.MaxIters,
+		StallLimit: o.StallLimit,
+		QoSMin:     o.QoSMin,
+		Seed:       o.Seed + 7,
+	})
+}
+
+func feedback(qos, perf float64) autotuner.Feedback {
+	return autotuner.Feedback{QoS: qos, Perf: perf}
+}
+
+// problemFor builds the autotuner search space for a program under a knob
+// policy.
+func problemFor(p Program, pol KnobPolicy) autotuner.Problem {
+	ops := p.Ops()
+	knobs := make(map[int][]approx.KnobID, len(ops))
+	for _, op := range ops {
+		knobs[op] = KnobsFor(p, op, pol)
+	}
+	return autotuner.Problem{Ops: ops, Knobs: knobs}
+}
+
+func randomConfig(prob autotuner.Problem, rng *tensor.RNG) approx.Config {
+	cfg := make(approx.Config, len(prob.Ops))
+	for _, op := range prob.Ops {
+		ks := prob.Knobs[op]
+		cfg[op] = ks[rng.Intn(len(ks))]
+	}
+	return cfg
+}
+
+// perfModel returns the configured Perf objective: the caller-supplied
+// model when present, otherwise the hardware-agnostic Eq. 3 predictor.
+func perfModel(p Program, o Options) func(approx.Config) float64 {
+	if o.PerfModel != nil {
+		return o.PerfModel
+	}
+	pp := predictor.NewPerfPredictor(p.Costs())
+	return pp.Predict
+}
+
+// ensureBaseline prepends the baseline tradeoff point when absent.
+func ensureBaseline(points []pareto.Point, baseCfg approx.Config, baseQoS float64, nOps int) []pareto.Point {
+	key := baseCfg.Key(nOps)
+	for _, pt := range points {
+		if pt.Config.Key(nOps) == key {
+			return points
+		}
+	}
+	return append([]pareto.Point{{QoS: baseQoS, Perf: 1, Config: baseCfg}}, points...)
+}
+
+// baselineConfig maps every op of the program to FP32.
+func baselineConfig(p Program) approx.Config {
+	cfg := make(approx.Config)
+	for _, op := range p.Ops() {
+		cfg[op] = approx.KnobFP32
+	}
+	return cfg
+}
+
+func maxOp(p Program) int {
+	m := 0
+	for _, op := range p.Ops() {
+		if op > m {
+			m = op
+		}
+	}
+	return m
+}

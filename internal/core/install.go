@@ -1,0 +1,420 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/approx"
+	"repro/internal/device"
+	"repro/internal/pareto"
+	"repro/internal/predictor"
+	"repro/internal/tensor"
+)
+
+// Objective selects what install-time tuning optimizes on the device
+// (§3.1: "tuning other goals such as energy savings by providing a
+// corresponding prediction model").
+type Objective int
+
+const (
+	// MinimizeTime reports Perf as a wall-clock speedup over the baseline.
+	MinimizeTime Objective = iota
+	// MinimizeEnergy reports Perf as an energy-reduction factor.
+	MinimizeEnergy
+)
+
+func (o Objective) String() string {
+	if o == MinimizeEnergy {
+		return "energy"
+	}
+	return "time"
+}
+
+// Sharder is implemented by programs whose calibration inputs can be
+// partitioned across simulated edge devices for distributed install-time
+// tuning.
+type Sharder interface {
+	// NumCalib returns the number of calibration inputs.
+	NumCalib() int
+	// Shard returns a Program whose calibration set is inputs [lo, hi).
+	Shard(lo, hi int) (Program, error)
+}
+
+// InstallOptions configures the install-time phase.
+type InstallOptions struct {
+	Options
+	// Device is the edge compute unit performance/energy model.
+	Device *device.Device
+	// Objective selects time vs energy optimization.
+	Objective Objective
+	// NEdge is the number of edge devices participating in distributed
+	// tuning (the paper emulates 100).
+	NEdge int
+}
+
+func (o InstallOptions) norm() InstallOptions {
+	o.Options = o.Options.norm()
+	if o.NEdge == 0 {
+		o.NEdge = 4
+	}
+	return o
+}
+
+// InstallStats extends tuning stats with the distributed-phase timings of
+// §7.4 (edge profile collection vs server autotuning).
+type InstallStats struct {
+	Stats
+	EdgeProfileTime time.Duration // wall-clock of the parallel edge phase
+	ServerTuneTime  time.Duration
+	ValidatePerEdge int
+}
+
+// InstallResult is the outcome of install-time tuning.
+type InstallResult struct {
+	Curve *pareto.Curve
+	Stats InstallStats
+}
+
+// MeasurePerf returns the device-measured Perf of cfg relative to the
+// exact baseline under the chosen objective (exported for the network
+// transport and the bench harness).
+func MeasurePerf(p Program, dev *device.Device, obj Objective, cfg approx.Config) float64 {
+	return measurePerf(p, dev, obj, cfg)
+}
+
+// measurePerf returns the device-measured Perf of cfg relative to the
+// exact baseline under the chosen objective.
+func measurePerf(p Program, dev *device.Device, obj Objective, cfg approx.Config) float64 {
+	costs := p.Costs()
+	if obj == MinimizeEnergy {
+		return dev.Energy(costs, nil) / dev.Energy(costs, cfg)
+	}
+	return dev.Time(costs, nil) / dev.Time(costs, cfg)
+}
+
+// RefineCurve is the software-only install-time path (§4): it re-measures
+// every configuration of the development-time curve on the target device
+// — both real performance and real QoS — filters the ones that miss the
+// QoS threshold or that the device cannot execute (e.g. FP16 knobs on the
+// TX2's CPU), and returns the refined Pareto curve PS(S*).
+func RefineCurve(p Program, devCurve *pareto.Curve, o InstallOptions) (*InstallResult, error) {
+	o = o.norm()
+	if o.Device == nil {
+		return nil, fmt.Errorf("core: install-time tuning requires a device model")
+	}
+	watch := NewStopwatch()
+	rng := tensor.NewRNG(o.Seed + 100)
+	var pts []pareto.Point
+	var st InstallStats
+	for i, pt := range devCurve.Points {
+		if !deviceSupports(o.Device, pt.Config) {
+			continue
+		}
+		out := p.Run(pt.Config, Calib, rng.Split(int64(i)))
+		realQoS := p.Score(Calib, out)
+		st.RawConfigs++
+		if realQoS <= o.QoSMin {
+			continue
+		}
+		perf := measurePerf(p, o.Device, o.Objective, pt.Config)
+		pts = append(pts, pareto.Point{QoS: realQoS, Perf: perf, Config: pt.Config})
+	}
+	st.Validated = len(pts)
+	st.Total = watch.Lap()
+	curve := pareto.NewCurve(p.Name(), devCurve.BaselineQoS, pts)
+	curve.BaselineTime = o.Device.Time(p.Costs(), nil)
+	return &InstallResult{Curve: curve, Stats: st}, nil
+}
+
+// DeviceSupports reports whether a device can execute every knob of a
+// configuration (exported for the network transport).
+func DeviceSupports(dev *device.Device, cfg approx.Config) bool {
+	return deviceSupports(dev, cfg)
+}
+
+func deviceSupports(dev *device.Device, cfg approx.Config) bool {
+	for _, kid := range cfg {
+		if !dev.SupportsKnob(kid) {
+			return false
+		}
+	}
+	return true
+}
+
+// InstallTune is the hardware-knob install-time path (§4): distributed
+// predictive tuning. The edge devices (goroutine-simulated) collect QoS
+// profiles for hardware-specific knobs on disjoint calibration shards; a
+// central server merges the profiles with the development-time software
+// profiles and runs a fresh predictive autotuning over the combined knob
+// space; the shortlist is scattered back to the edge devices for
+// validation and performance/energy measurement; and the server computes
+// the final curve PS(S*₁ ∪ … ∪ S*ₙ).
+func InstallTune(p Program, devProfiles *predictor.Profiles, o InstallOptions) (*InstallResult, error) {
+	o = o.norm()
+	if o.Device == nil {
+		return nil, fmt.Errorf("core: install-time tuning requires a device model")
+	}
+	sharder, canShard := p.(Sharder)
+	if o.NEdge > 1 && !canShard {
+		return nil, fmt.Errorf("core: program %q cannot shard calibration inputs for %d edge devices", p.Name(), o.NEdge)
+	}
+	watch := NewStopwatch()
+	total := NewStopwatch()
+	var st InstallStats
+
+	// Phase 1: distributed hardware-knob profile collection.
+	hwKnobs := func(op int) []approx.KnobID {
+		all := KnobsFor(p, op, KnobPolicy{IncludeHardware: true, AllowFP16: o.Policy.AllowFP16})
+		var hw []approx.KnobID
+		for _, id := range all {
+			if !approx.MustLookup(id).HardwareIndependent() {
+				hw = append(hw, id)
+			}
+		}
+		return hw
+	}
+	var hwProfiles *predictor.Profiles
+	if o.NEdge <= 1 {
+		hwProfiles = CollectProfiles(p, nil, hwKnobs, tensor.NewRNG(o.Seed+200))
+	} else {
+		n := sharder.NumCalib()
+		shards := make([]*predictor.Profiles, o.NEdge)
+		errs := make([]error, o.NEdge)
+		var wg sync.WaitGroup
+		for e := 0; e < o.NEdge; e++ {
+			lo := e * n / o.NEdge
+			hi := (e + 1) * n / o.NEdge
+			wg.Add(1)
+			go func(e, lo, hi int) {
+				defer wg.Done()
+				sp, err := sharder.Shard(lo, hi)
+				if err != nil {
+					errs[e] = err
+					return
+				}
+				shards[e] = CollectProfiles(sp, nil, hwKnobs, tensor.NewRNG(o.Seed+200+int64(e)))
+			}(e, lo, hi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		hwProfiles = predictor.Merge(shards)
+	}
+	st.EdgeProfileTime = watch.Lap()
+
+	// Phase 2: the server merges software and hardware profiles and runs
+	// predictive tuning over the combined space (lines 18–30 of
+	// Algorithm 1 with hardware knobs included). Validation inside
+	// PredictiveTune is skipped here — it happens distributed below — so
+	// we run the search manually via PredictiveTune with the merged
+	// profiles and harvest its pre-validation shortlist by setting
+	// MaxConfigs as the scatter width.
+	combined := combineProfiles(devProfiles, hwProfiles)
+	shortlist, searchStats, err := predictiveSearch(p, combined, o)
+	if err != nil {
+		return nil, err
+	}
+	st.Stats = searchStats
+	st.ServerTuneTime = watch.Lap()
+
+	// Phase 3: scatter validation across edge devices. Each edge measures
+	// real QoS on its shard and device perf/energy for an equal fraction
+	// of the shortlist, returning its local Pareto set.
+	nEdge := o.NEdge
+	if nEdge < 1 {
+		nEdge = 1
+	}
+	edgeSets := make([][]pareto.Point, nEdge)
+	var wg sync.WaitGroup
+	errs := make([]error, nEdge)
+	for e := 0; e < nEdge; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			var local Program = p
+			if canShard && nEdge > 1 {
+				n := sharder.NumCalib()
+				sp, err := sharder.Shard(e*n/nEdge, (e+1)*n/nEdge)
+				if err != nil {
+					errs[e] = err
+					return
+				}
+				local = sp
+			}
+			rng := tensor.NewRNG(o.Seed + 300 + int64(e))
+			for i := e; i < len(shortlist); i += nEdge {
+				pt := shortlist[i]
+				if !deviceSupports(o.Device, pt.Config) {
+					continue
+				}
+				out := local.Run(pt.Config, Calib, rng.Split(int64(i)))
+				realQoS := local.Score(Calib, out)
+				if realQoS <= o.QoSMin {
+					continue
+				}
+				perf := measurePerf(p, o.Device, o.Objective, pt.Config)
+				edgeSets[e] = append(edgeSets[e], pareto.Point{QoS: realQoS, Perf: perf, Config: pt.Config})
+			}
+			edgeSets[e] = pareto.Set(edgeSets[e])
+		}(e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	st.ValidatePerEdge = (len(shortlist) + nEdge - 1) / nEdge
+
+	// Phase 4: the server unions the per-edge Pareto sets and computes the
+	// final curve.
+	var union []pareto.Point
+	for _, s := range edgeSets {
+		union = append(union, s...)
+	}
+	sort.Slice(union, func(i, j int) bool { return union[i].Perf < union[j].Perf })
+	st.Validated = len(union)
+	st.ValidateTime = watch.Lap()
+	st.Total = total.Lap()
+
+	curve := pareto.NewCurve(p.Name(), combined.BaseQoS, union)
+	curve.BaselineTime = o.Device.Time(p.Costs(), nil)
+	return &InstallResult{Curve: curve, Stats: st.Stats.withInstall(st)}, nil
+}
+
+// withInstall keeps the embedded Stats consistent; InstallStats embeds
+// Stats by value so the helper just returns the updated embedded copy.
+func (s Stats) withInstall(ist InstallStats) InstallStats {
+	ist.Stats = s
+	ist.Stats.Validated = ist.Validated
+	return ist
+}
+
+// CombineProfiles merges the development-time (software-knob) profiles
+// with the install-time hardware-knob profiles into one table (exported
+// for the network transport).
+func CombineProfiles(sw, hw *predictor.Profiles) *predictor.Profiles {
+	return combineProfiles(sw, hw)
+}
+
+// combineProfiles merges the development-time (software-knob) profiles
+// with the install-time hardware-knob profiles into one table.
+func combineProfiles(sw, hw *predictor.Profiles) *predictor.Profiles {
+	out := predictor.NewProfiles(sw.BaseQoS, sw.BaseOut)
+	for k, v := range sw.DeltaQ {
+		out.DeltaQ[k] = v
+	}
+	for k, v := range sw.DeltaT {
+		out.DeltaT[k] = v
+	}
+	for k, v := range hw.DeltaQ {
+		out.DeltaQ[k] = v
+	}
+	for k, v := range hw.DeltaT {
+		// Hardware ΔT is usable only when shapes line up with the
+		// software baseline (full-set concatenation).
+		if out.BaseOut != nil && v.Shape().Equal(out.BaseOut.Shape()) {
+			out.DeltaT[k] = v
+		}
+	}
+	return out
+}
+
+// SearchShortlist runs steps 2–4 of Algorithm 1 (predictor calibration,
+// model-driven search, ε1 shortlist) against pre-merged profiles with
+// hardware knobs included, returning the shortlist for distributed
+// validation. It is the server-side compute step of the distributed
+// install-time protocol (§4), exposed for network transports
+// (internal/distrib).
+func SearchShortlist(p Program, profiles *predictor.Profiles, o InstallOptions) ([]pareto.Point, Stats, error) {
+	return predictiveSearch(p, profiles, o)
+}
+
+// predictiveSearch runs steps 2–4 of Algorithm 1 (calibration, search,
+// ε1 shortlist) against pre-merged profiles, returning the shortlist for
+// distributed validation.
+func predictiveSearch(p Program, profiles *predictor.Profiles, o InstallOptions) ([]pareto.Point, Stats, error) {
+	var st Stats
+	watch := NewStopwatch()
+	if o.Model == predictor.Pi1 && !profiles.SupportsPi1() {
+		return nil, st, fmt.Errorf("core: Π1 unavailable for %q at install time", p.Name())
+	}
+	scoreFn := func(out *tensor.Tensor) float64 { return p.Score(Calib, out) }
+	var qp *predictor.QoSPredictor
+	if o.Model == predictor.Pi1 {
+		qp = predictor.NewQoSPredictor(predictor.Pi1, profiles, scoreFn)
+	} else {
+		qp = predictor.NewQoSPredictor(predictor.Pi2, profiles, nil)
+	}
+	pol := KnobPolicy{IncludeHardware: true, AllowFP16: o.Policy.AllowFP16}
+	prob := problemFor(p, pol)
+	calibRng := tensor.NewRNG(o.Seed + 400)
+	samples := make([]predictor.Sample, 0, o.NCalibrate)
+	for i := 0; i < o.NCalibrate; i++ {
+		cfg := randomConfig(prob, calibRng)
+		out := p.Run(cfg, Calib, calibRng.Split(int64(i)))
+		samples = append(samples, predictor.Sample{Cfg: cfg, QoS: p.Score(Calib, out)})
+	}
+	st.Alpha = qp.Calibrate(samples)
+	st.CalibrateTime = watch.Lap()
+
+	// Objective-aware performance model: for energy tuning the prediction
+	// uses the device energy model (the "corresponding prediction model"
+	// of §3.1); for time it uses the hardware-agnostic Eq. 3 ranking.
+	pp := predictor.NewPerfPredictor(p.Costs())
+	perfOf := func(cfg approx.Config) float64 {
+		if o.Objective == MinimizeEnergy {
+			return measurePerf(p, o.Device, MinimizeEnergy, cfg)
+		}
+		return pp.Predict(cfg)
+	}
+
+	tuner := newSearchTuner(prob, o.Options)
+	seen := make(map[string]bool)
+	nOps := maxOp(p) + 1
+	baseCfg := baselineConfig(p)
+	tuner.Prime(baseCfg, feedback(profiles.BaseQoS, perfOf(baseCfg)))
+	candidates := []pareto.Point{{QoS: profiles.BaseQoS, Perf: perfOf(baseCfg), Config: baseCfg}}
+	seen[baseCfg.Key(nOps)] = true
+	for !tuner.Done() {
+		cfg := tuner.Next()
+		predQoS := qp.Predict(cfg)
+		perf := perfOf(cfg)
+		tuner.Report(cfg, feedback(predQoS, perf))
+		st.RawConfigs++
+		if predQoS > o.QoSMin {
+			key := cfg.Key(nOps)
+			if !seen[key] {
+				seen[key] = true
+				candidates = append(candidates, pareto.Point{QoS: predQoS, Perf: perf, Config: cfg.Clone()})
+			}
+		}
+	}
+	st.Iterations = tuner.Iterations()
+	st.Candidates = len(candidates)
+	st.SearchTime = watch.Lap()
+
+	eps1 := pareto.EpsilonForLimit(candidates, o.MaxConfigs)
+	shortlist := pareto.Trim(pareto.RelaxedSet(candidates, eps1), o.MaxConfigs)
+	shortlist = ensureBaseline(shortlist, baseCfg, profiles.BaseQoS, nOps)
+	return shortlist, st, nil
+}
+
+// HardwareKnobsFor returns the hardware-specific knob candidates
+// (PROMISE levels) for one op of a program — the knob set edge devices
+// profile during distributed install-time tuning.
+func HardwareKnobsFor(p Program, op int, allowFP16 bool) []approx.KnobID {
+	all := KnobsFor(p, op, KnobPolicy{IncludeHardware: true, AllowFP16: allowFP16})
+	var hw []approx.KnobID
+	for _, id := range all {
+		if !approx.MustLookup(id).HardwareIndependent() {
+			hw = append(hw, id)
+		}
+	}
+	return hw
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/approx"
+	"repro/internal/predictor"
+	"repro/internal/tensor"
+)
+
+// CollectProfiles runs the profile-collection phase of §3.2: for each
+// (op, knob) pair in the program's knob space it executes the program on
+// the calibration inputs with only that operator approximated, and records
+// the end-to-end QoS change ΔQ and (when the program has fixed-shape
+// outputs) the raw-output change ΔT.
+//
+// ops may restrict collection to a subset of the program's operations
+// (nil means all); knobsOf maps an op to the knob candidates to profile.
+// The supplied rng seeds PROMISE noise reproducibly.
+func CollectProfiles(p Program, ops []int, knobsOf func(op int) []approx.KnobID, rng *tensor.RNG) *predictor.Profiles {
+	if ops == nil {
+		ops = p.Ops()
+	}
+	baseOut := baselineOutput(p, Calib)
+	baseQoS := p.Score(Calib, baseOut)
+	var baseForPi1 *tensor.Tensor
+	if p.FixedOutputShape() {
+		baseForPi1 = baseOut
+	}
+	profiles := predictor.NewProfiles(baseQoS, baseForPi1)
+
+	suffix, fast := p.(SuffixRunner)
+	for _, op := range ops {
+		for _, knob := range knobsOf(op) {
+			if knob == approx.KnobFP32 {
+				continue // the baseline needs no profile
+			}
+			var out *tensor.Tensor
+			if fast {
+				out = suffix.RunSuffix(op, knob, Calib, rng)
+			} else {
+				out = p.Run(approx.Config{op: knob}, Calib, rng)
+			}
+			dq := p.Score(Calib, out) - baseQoS
+			var dt *tensor.Tensor
+			if baseForPi1 != nil && out.Shape().Equal(baseForPi1.Shape()) {
+				dt = tensor.Diff(out, baseForPi1)
+			}
+			profiles.Add(op, knob, dq, dt)
+		}
+	}
+	return profiles
+}
+
+// baselineOutput runs (or fetches the cached) exact execution.
+func baselineOutput(p Program, set InputSet) *tensor.Tensor {
+	if gp, ok := p.(*GraphProgram); ok {
+		return gp.BaselineOut(set)
+	}
+	return p.Run(nil, set, nil)
+}
+
+// Stopwatch accumulates phase timings for the Table-4 style reports.
+type Stopwatch struct {
+	start time.Time
+}
+
+// NewStopwatch starts timing.
+func NewStopwatch() *Stopwatch { return &Stopwatch{start: time.Now()} }
+
+// Lap returns the elapsed time and restarts the watch.
+func (s *Stopwatch) Lap() time.Duration {
+	now := time.Now()
+	d := now.Sub(s.start)
+	s.start = now
+	return d
+}

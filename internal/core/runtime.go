@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/approx"
+	"repro/internal/pareto"
+	"repro/internal/tensor"
+)
+
+// Policy selects the run-time configuration-selection strategy (§5).
+type Policy int
+
+const (
+	// PolicyEnforce picks a configuration with performance no smaller
+	// than the target in every invocation — an O(log |PS|) binary search,
+	// suited to (soft) real-time deadlines.
+	PolicyEnforce Policy = iota
+	// PolicyAverage probabilistically mixes the two configurations
+	// bracketing the target so that p1·Perf1 + p2·Perf2 = PerfT, matching
+	// the target throughput on average.
+	PolicyAverage
+)
+
+func (p Policy) String() string {
+	if p == PolicyAverage {
+		return "average"
+	}
+	return "enforce"
+}
+
+// RuntimeTuner adapts approximation settings at run time to hold a
+// performance target under changing system conditions. It consumes the
+// final tradeoff curve shipped with the binary; switching configurations
+// is just switching numerical parameters of the tensor ops, so the
+// overhead is negligible (§5).
+type RuntimeTuner struct {
+	curve      *pareto.Curve
+	policy     Policy
+	targetTime float64 // desired per-invocation time (seconds)
+	window     int     // sliding window length (invocations)
+	rng        *tensor.RNG
+
+	times   []float64 // recent invocation times
+	current pareto.Point
+	// requiredPerf is the speedup (relative to the exact baseline) the
+	// tuner currently believes is needed to hold the target.
+	requiredPerf float64
+	switches     int
+}
+
+// NewRuntimeTuner builds a runtime controller. targetTime is the
+// per-invocation time to maintain (typically the baseline configuration's
+// time at the highest frequency); window is the sliding-window size in
+// invocations (§6.4 uses one batch).
+func NewRuntimeTuner(curve *pareto.Curve, policy Policy, targetTime float64, window int, seed int64) (*RuntimeTuner, error) {
+	if curve == nil || curve.Len() == 0 {
+		return nil, fmt.Errorf("core: runtime tuner needs a non-empty tradeoff curve")
+	}
+	if targetTime <= 0 || window <= 0 {
+		return nil, fmt.Errorf("core: bad runtime target %v / window %d", targetTime, window)
+	}
+	rt := &RuntimeTuner{
+		curve:        curve,
+		policy:       policy,
+		targetTime:   targetTime,
+		window:       window,
+		rng:          tensor.NewRNG(seed),
+		requiredPerf: 1,
+	}
+	rt.current = rt.pick(1)
+	return rt, nil
+}
+
+// Current returns the configuration to use for the next invocation. Under
+// PolicyAverage this may alternate probabilistically between the two
+// bracketing points.
+func (rt *RuntimeTuner) Current() approx.Config { return rt.current.Config }
+
+// CurrentPoint returns the active tradeoff point.
+func (rt *RuntimeTuner) CurrentPoint() pareto.Point { return rt.current }
+
+// Switches counts configuration changes so far.
+func (rt *RuntimeTuner) Switches() int { return rt.switches }
+
+// RecordInvocation feeds one invocation's measured execution time to the
+// system monitor. When the sliding-window average falls below the target,
+// the tuner computes the required speedup and re-selects from the curve
+// (§5); it also relaxes back toward less-approximate configurations when
+// the system speeds up again.
+func (rt *RuntimeTuner) RecordInvocation(execTime float64) {
+	rt.times = append(rt.times, execTime)
+	if len(rt.times) > rt.window {
+		rt.times = rt.times[len(rt.times)-rt.window:]
+	}
+	if len(rt.times) < rt.window {
+		return
+	}
+	var avg float64
+	for _, t := range rt.times {
+		avg += t
+	}
+	avg /= float64(len(rt.times))
+
+	// The observed average ran under the current configuration, whose
+	// speedup is current.Perf; the slowdown attributable to the system is
+	// therefore avg·Perf relative to the baseline target.
+	systemSlowdown := avg * rt.current.Perf / rt.targetTime
+	rt.requiredPerf = systemSlowdown
+	next := rt.pick(rt.requiredPerf)
+	if next.Perf != rt.current.Perf || !sameConfig(next.Config, rt.current.Config) {
+		rt.switches++
+		rt.current = next
+	}
+}
+
+func sameConfig(a, b approx.Config) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b.Knob(k) != v {
+			return false
+		}
+	}
+	return true
+}
+
+// pick selects a tradeoff point achieving the required speedup under the
+// active policy.
+func (rt *RuntimeTuner) pick(required float64) pareto.Point {
+	switch rt.policy {
+	case PolicyEnforce:
+		if pt, ok := rt.curve.AtLeastPerf(required); ok {
+			return pt
+		}
+		// Nothing reaches the target; degrade as gracefully as possible.
+		return rt.curve.Points[rt.curve.Len()-1]
+	default: // PolicyAverage
+		below, above, _ := rt.curve.Bracket(required)
+		if below.Perf == above.Perf {
+			return below
+		}
+		// p1·Perf1 + p2·Perf2 = PerfT with p1 + p2 = 1.
+		p1 := (above.Perf - required) / (above.Perf - below.Perf)
+		if rt.rng.Float64() < p1 {
+			return below
+		}
+		return above
+	}
+}
+
+// MixProbabilities exposes the Policy-2 mixing weights for a target
+// speedup — (p1 for the slower point, p2 for the faster point) — mainly
+// for testing and for the worked example in §5 (PerfT = 1.3 with points
+// 1.2 and 1.5 gives 2/3 and 1/3).
+func (rt *RuntimeTuner) MixProbabilities(required float64) (below, above pareto.Point, p1, p2 float64) {
+	below, above, _ = rt.curve.Bracket(required)
+	if below.Perf == above.Perf {
+		return below, above, 1, 0
+	}
+	p1 = (above.Perf - required) / (above.Perf - below.Perf)
+	return below, above, p1, 1 - p1
+}

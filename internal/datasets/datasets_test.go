@@ -1,0 +1,109 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestGenerateShapeAndRange(t *testing.T) {
+	d := CIFARLike(8, 10, 1)
+	if d.N() != 8 || d.Images.Dim(1) != 3 || d.Images.Dim(2) != 32 || d.Images.Dim(3) != 32 {
+		t.Fatalf("shape = %v", d.Images.Shape())
+	}
+	for _, v := range d.Images.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v out of [0,1]", v)
+		}
+	}
+	if d.Classes != 10 {
+		t.Errorf("classes = %d", d.Classes)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MNISTLike(4, 42)
+	b := MNISTLike(4, 42)
+	if !tensor.Equal(a.Images, b.Images, 0) {
+		t.Fatal("same seed must generate identical images")
+	}
+	c := MNISTLike(4, 43)
+	if tensor.Equal(a.Images, c.Images, 0) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestImagesAreNotConstant(t *testing.T) {
+	d := CIFARLike(2, 10, 7)
+	img := d.Slice(0, 1).Images
+	var mn, mx float32 = 2, -1
+	for _, v := range img.Data() {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if mx-mn < 0.2 {
+		t.Errorf("image dynamic range too small: [%v, %v]", mn, mx)
+	}
+}
+
+func TestSliceViews(t *testing.T) {
+	d := CIFARLike(10, 10, 3)
+	d.Labels = make([]int, 10)
+	for i := range d.Labels {
+		d.Labels[i] = i
+	}
+	s := d.Slice(2, 5)
+	if s.N() != 3 || s.Labels[0] != 2 {
+		t.Fatalf("slice wrong: n=%d labels=%v", s.N(), s.Labels)
+	}
+	// view shares storage
+	s.Images.Data()[0] = 0.123
+	if d.Slice(2, 3).Images.Data()[0] != 0.123 {
+		t.Error("Slice should be a view")
+	}
+}
+
+func TestSliceBoundsPanics(t *testing.T) {
+	d := MNISTLike(4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Slice(2, 9)
+}
+
+func TestSplitHalves(t *testing.T) {
+	d := MNISTLike(10, 2)
+	calib, test := d.Split()
+	if calib.N() != 5 || test.N() != 5 {
+		t.Fatalf("split = %d/%d", calib.N(), test.N())
+	}
+	if tensor.Equal(calib.Images, test.Images, 0) {
+		t.Error("halves should differ")
+	}
+}
+
+func TestBatches(t *testing.T) {
+	d := MNISTLike(10, 3)
+	bs := d.Batches(3)
+	if len(bs) != 3 {
+		t.Fatalf("got %d batches, want 3 (last partial dropped)", len(bs))
+	}
+	for _, b := range bs {
+		if b.N() != 3 {
+			t.Fatalf("batch size %d", b.N())
+		}
+	}
+}
+
+func TestMiniImageNetSize(t *testing.T) {
+	d := MiniImageNet(2, 48, 100, 5)
+	if d.Images.Dim(2) != 48 || d.Classes != 100 {
+		t.Fatalf("miniImageNet shape %v classes %d", d.Images.Shape(), d.Classes)
+	}
+}

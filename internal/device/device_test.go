@@ -1,0 +1,181 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/graph"
+	"repro/internal/tensorops"
+)
+
+func sampleCosts() []graph.NodeCost {
+	return []graph.NodeCost{
+		{ID: 0},                     // input, free
+		{ID: 1, Nc: 2e8, Nm: 4e6},   // conv-like: compute heavy
+		{ID: 2, Nc: 1e6, Nm: 2e6},   // pool-like
+		{ID: 3, Nc: 2e7, Nm: 1.2e7}, // fc-like
+	}
+}
+
+func TestBaselineTimePositive(t *testing.T) {
+	d := NewTX2GPU()
+	tt := d.Time(sampleCosts(), nil)
+	if tt <= 0 {
+		t.Fatalf("Time = %v", tt)
+	}
+}
+
+func TestFP16FasterOnGPUNotCPU(t *testing.T) {
+	costs := sampleCosts()
+	cfg := approx.Config{1: approx.KnobFP16, 2: approx.KnobFP16, 3: approx.KnobFP16}
+	gpu := NewTX2GPU()
+	if sp := gpu.Time(costs, nil) / gpu.Time(costs, cfg); sp <= 1.2 {
+		t.Errorf("GPU FP16 speedup = %.2f, want > 1.2 (paper: ~1.63x)", sp)
+	}
+	cpu := NewTX2CPU()
+	if !cpu.SupportsKnob(approx.KnobFP16) {
+		// expected: the ARM CPU has no FP16 pipeline
+	} else {
+		t.Error("CPU should not support FP16 knobs")
+	}
+	if !cpu.SupportsKnob(approx.KnobFP32) {
+		t.Error("CPU must support the baseline")
+	}
+	if !gpu.SupportsKnob(approx.KnobFP16) {
+		t.Error("GPU must support FP16")
+	}
+}
+
+func TestPerforationReducesTime(t *testing.T) {
+	costs := sampleCosts()
+	d := NewTX2GPU()
+	base := d.Time(costs, nil)
+	perf := approx.Config{1: approx.PerforationKnob(tensorops.PerfRows, 2, 0, tensorops.FP32)}
+	tp := d.Time(costs, perf)
+	if tp >= base {
+		t.Errorf("perforation should cut time: %v -> %v", base, tp)
+	}
+	// stride 2 (skip half) beats stride 4 (skip quarter)
+	perf4 := approx.Config{1: approx.PerforationKnob(tensorops.PerfRows, 4, 0, tensorops.FP32)}
+	if d.Time(costs, perf4) <= tp {
+		t.Error("lighter perforation should be slower than heavier perforation")
+	}
+}
+
+func TestPromiseTimeAndEnergy(t *testing.T) {
+	costs := sampleCosts()
+	d := NewTX2GPU()
+	base := d.Time(costs, nil)
+	baseE := d.Energy(costs, nil)
+	cfg := approx.Config{1: approx.PromiseKnob(1), 3: approx.PromiseKnob(1)}
+	if tp := d.Time(costs, cfg); tp >= base {
+		t.Errorf("PROMISE offload should speed up: %v -> %v", base, tp)
+	}
+	ep := d.Energy(costs, cfg)
+	if ep >= baseE {
+		t.Errorf("PROMISE should cut energy: %v -> %v", baseE, ep)
+	}
+	// Lower voltage saves more energy.
+	e7 := d.Energy(costs, approx.Config{1: approx.PromiseKnob(7), 3: approx.PromiseKnob(7)})
+	if ep >= e7 {
+		t.Errorf("P1 energy (%v) should be below P7 energy (%v)", ep, e7)
+	}
+}
+
+func TestDVFSSlowdownSublinear(t *testing.T) {
+	costs := sampleCosts()
+	d := NewTX2GPU()
+	base := d.Time(costs, nil)
+	d.SetFrequencyMHz(Freqs[len(Freqs)-1]) // 319 MHz
+	slow := d.Time(costs, nil)
+	ratio := slow / base
+	freqRatio := Freqs[0] / Freqs[len(Freqs)-1] // ~4.08
+	if ratio <= 1.3 {
+		t.Errorf("319 MHz should slow down >1.3x, got %.2f", ratio)
+	}
+	if ratio >= freqRatio {
+		t.Errorf("slowdown %.2f should be sublinear vs frequency ratio %.2f (memory does not scale)", ratio, freqRatio)
+	}
+}
+
+func TestDVFSMonotone(t *testing.T) {
+	costs := sampleCosts()
+	d := NewTX2GPU()
+	prev := 0.0
+	for _, f := range Freqs {
+		d.SetFrequencyMHz(f)
+		tt := d.Time(costs, nil)
+		if prev != 0 && tt < prev {
+			t.Fatalf("time must grow as frequency drops: %v at %v MHz", tt, f)
+		}
+		prev = tt
+	}
+}
+
+func TestPowerRailsMatchFig5Shape(t *testing.T) {
+	d := NewTX2GPU()
+	d.SetFrequencyMHz(1300)
+	gHi, ddrHi, sysHi := d.Rails()
+	d.SetFrequencyMHz(319)
+	gLo, ddrLo, sysLo := d.Rails()
+	gpuRatio := gHi / gLo
+	sysRatio := sysHi / sysLo
+	if gpuRatio < 4 || gpuRatio > 11 {
+		t.Errorf("GPU power ratio 1300→319 MHz = %.2f, want ~7 (Fig. 5)", gpuRatio)
+	}
+	if sysRatio < 1.5 || sysRatio > 2.4 {
+		t.Errorf("SYS power ratio = %.2f, want ~1.9 (Fig. 5)", sysRatio)
+	}
+	if math.Abs(ddrHi-ddrLo) > 0.2 {
+		t.Errorf("DDR power should be nearly flat: %v vs %v", ddrHi, ddrLo)
+	}
+}
+
+func TestEnergyReductionTracksSpeedupLoosely(t *testing.T) {
+	costs := sampleCosts()
+	d := NewTX2GPU()
+	cfg := approx.Config{
+		1: approx.SamplingKnob(2, 0, tensorops.FP16),
+		3: approx.KnobFP16,
+	}
+	speedup := d.Time(costs, nil) / d.Time(costs, cfg)
+	ered := d.Energy(costs, nil) / d.Energy(costs, cfg)
+	if ered <= 1 {
+		t.Fatalf("energy reduction %v should exceed 1", ered)
+	}
+	if ered > speedup*1.5 || ered < speedup/2 {
+		t.Errorf("energy reduction %.2f should be of the same order as speedup %.2f", ered, speedup)
+	}
+}
+
+func TestSetFrequencyValidation(t *testing.T) {
+	d := NewTX2GPU()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative frequency should panic")
+		}
+	}()
+	d.SetFrequencyMHz(-1)
+}
+
+func TestCPUSlowerThanGPU(t *testing.T) {
+	costs := sampleCosts()
+	g, c := NewTX2GPU(), NewTX2CPU()
+	if g.Time(costs, nil) >= c.Time(costs, nil) {
+		t.Error("GPU should outrun CPU on tensor workloads")
+	}
+}
+
+func TestPromiseLatencyIndependentOfDVFS(t *testing.T) {
+	costs := sampleCosts()
+	d := NewTX2GPU()
+	cfg := approx.Config{1: approx.PromiseKnob(4)}
+	d.SetFrequencyMHz(1300)
+	t1 := d.NodeTime(costs[1], cfg.Knob(1))
+	d.SetFrequencyMHz(319)
+	t2 := d.NodeTime(costs[1], cfg.Knob(1))
+	if t1 != t2 {
+		t.Errorf("PROMISE op time should not change with GPU DVFS: %v vs %v", t1, t2)
+	}
+}

@@ -1,0 +1,394 @@
+// Package distrib is a real network transport for ApproxTuner's
+// distributed install-time tuning protocol (§4). The paper distributes
+// the phase across a server and a fleet of edge devices to amortize
+// profile collection and validation; internal/core simulates the fleet
+// in-process with goroutines, while this package runs the identical
+// four-step protocol over HTTP + JSON:
+//
+//  1. each edge registers and receives its calibration-shard assignment
+//     (POST /v1/register);
+//  2. each edge collects hardware-knob QoS profiles on its shard and
+//     uploads them (POST /v1/profiles); once all shards arrive, the
+//     coordinator merges them with the shipped software profiles and runs
+//     the predictive search (Algorithm 1 lines 18–30 + the ε1 shortlist);
+//  3. each edge polls for its validation assignment (GET /v1/assignments),
+//     measures real QoS and device performance/energy for its slice of
+//     the shortlist, and uploads its local Pareto set (POST /v1/validated);
+//  4. the coordinator unions the per-edge Pareto sets into the final
+//     curve, which edges fetch with GET /v1/curve.
+package distrib
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/pareto"
+	"repro/internal/predictor"
+	"repro/internal/tensor"
+)
+
+// Coordinator is the central server of the protocol. It owns the full
+// program (for the server-side search), the shipped development-time
+// profiles, and the install options.
+type Coordinator struct {
+	prog     core.Program
+	devProfs *predictor.Profiles
+	opts     core.InstallOptions
+
+	mu         sync.Mutex
+	registered int
+	shards     map[int]*predictor.Profiles // edgeID → uploaded profiles
+	shortlist  []pareto.Point
+	searchErr  error
+	searched   bool
+	validated  map[int][]pareto.Point // edgeID → local Pareto set
+	final      *pareto.Curve
+}
+
+// NewCoordinator builds a coordinator for nEdge devices (set in
+// opts.NEdge; defaults to 4).
+func NewCoordinator(p core.Program, devProfiles *predictor.Profiles, opts core.InstallOptions) (*Coordinator, error) {
+	if opts.NEdge <= 0 {
+		opts.NEdge = 4
+	}
+	if _, ok := p.(core.Sharder); !ok && opts.NEdge > 1 {
+		return nil, fmt.Errorf("distrib: program %q cannot shard for %d edges", p.Name(), opts.NEdge)
+	}
+	return &Coordinator{
+		prog:      p,
+		devProfs:  devProfiles,
+		opts:      opts,
+		shards:    make(map[int]*predictor.Profiles),
+		validated: make(map[int][]pareto.Point),
+	}, nil
+}
+
+// Wire types.
+
+type registerReq struct {
+	EdgeID int `json:"edge_id"`
+}
+
+type registerResp struct {
+	Lo        int  `json:"lo"`
+	Hi        int  `json:"hi"`
+	NEdge     int  `json:"n_edge"`
+	AllowFP16 bool `json:"allow_fp16"`
+}
+
+type profilesReq struct {
+	EdgeID   int             `json:"edge_id"`
+	Profiles json.RawMessage `json:"profiles"`
+}
+
+type assignmentsResp struct {
+	Ready   bool           `json:"ready"`
+	Configs []pareto.Point `json:"configs"` // QoS/Perf are server predictions
+	QoSMin  float64        `json:"qos_min"`
+	Obj     core.Objective `json:"objective"`
+}
+
+type validatedReq struct {
+	EdgeID int            `json:"edge_id"`
+	Points []pareto.Point `json:"points"`
+}
+
+type curveResp struct {
+	Ready bool            `json:"ready"`
+	Curve json.RawMessage `json:"curve,omitempty"`
+}
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/register", c.handleRegister)
+	mux.HandleFunc("POST /v1/profiles", c.handleProfiles)
+	mux.HandleFunc("GET /v1/assignments", c.handleAssignments)
+	mux.HandleFunc("POST /v1/validated", c.handleValidated)
+	mux.HandleFunc("GET /v1/curve", c.handleCurve)
+	return mux
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerReq
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.EdgeID < 0 || req.EdgeID >= c.opts.NEdge {
+		http.Error(w, fmt.Sprintf("edge id %d out of range [0,%d)", req.EdgeID, c.opts.NEdge), http.StatusBadRequest)
+		return
+	}
+	n := 0
+	if sh, ok := c.prog.(core.Sharder); ok {
+		n = sh.NumCalib()
+	}
+	c.mu.Lock()
+	c.registered++
+	c.mu.Unlock()
+	writeJSON(w, registerResp{
+		Lo:        req.EdgeID * n / c.opts.NEdge,
+		Hi:        (req.EdgeID + 1) * n / c.opts.NEdge,
+		NEdge:     c.opts.NEdge,
+		AllowFP16: c.opts.Policy.AllowFP16,
+	})
+}
+
+func (c *Coordinator) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	var req profilesReq
+	if !decode(w, r, &req) {
+		return
+	}
+	profs, err := predictor.UnmarshalProfiles(req.Profiles)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shards[req.EdgeID] = profs
+	if len(c.shards) == c.opts.NEdge && !c.searched {
+		// All shards arrived: merge (mean ΔQ, concatenated ΔT) and run the
+		// server-side predictive search.
+		ordered := make([]*predictor.Profiles, 0, c.opts.NEdge)
+		for e := 0; e < c.opts.NEdge; e++ {
+			ordered = append(ordered, c.shards[e])
+		}
+		hw := predictor.Merge(ordered)
+		combined := core.CombineProfiles(c.devProfs, hw)
+		c.shortlist, _, c.searchErr = core.SearchShortlist(c.prog, combined, c.opts)
+		c.searched = true
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleAssignments(w http.ResponseWriter, r *http.Request) {
+	var edgeID int
+	if _, err := fmt.Sscan(r.URL.Query().Get("edge"), &edgeID); err != nil {
+		http.Error(w, "missing edge query parameter", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.searchErr != nil {
+		http.Error(w, c.searchErr.Error(), http.StatusInternalServerError)
+		return
+	}
+	if !c.searched {
+		writeJSON(w, assignmentsResp{Ready: false})
+		return
+	}
+	// Equal-fraction scatter: edge e validates shortlist[e::nEdge].
+	var mine []pareto.Point
+	for i := edgeID; i < len(c.shortlist); i += c.opts.NEdge {
+		mine = append(mine, c.shortlist[i])
+	}
+	writeJSON(w, assignmentsResp{Ready: true, Configs: mine, QoSMin: c.opts.QoSMin, Obj: c.opts.Objective})
+}
+
+func (c *Coordinator) handleValidated(w http.ResponseWriter, r *http.Request) {
+	var req validatedReq
+	if !decode(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.validated[req.EdgeID] = req.Points
+	if len(c.validated) == c.opts.NEdge && c.final == nil {
+		var union []pareto.Point
+		for e := 0; e < c.opts.NEdge; e++ {
+			union = append(union, c.validated[e]...)
+		}
+		c.final = pareto.NewCurve(c.prog.Name(), c.devProfs.BaseQoS, union)
+		if c.opts.Device != nil {
+			c.final.BaselineTime = c.opts.Device.Time(c.prog.Costs(), nil)
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleCurve(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	final := c.final
+	c.mu.Unlock()
+	if final == nil {
+		writeJSON(w, curveResp{Ready: false})
+		return
+	}
+	data, err := final.Marshal()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, curveResp{Ready: true, Curve: data})
+}
+
+// FinalCurve returns the final tradeoff curve once all edges reported, or
+// (nil, false) while the protocol is still in flight.
+func (c *Coordinator) FinalCurve() (*pareto.Curve, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.final, c.final != nil
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Edge is one device of the fleet: it owns the full program binary and
+// its local calibration inputs (a shard of the global set), plus a device
+// model for performance/energy measurement.
+type Edge struct {
+	ID      int
+	BaseURL string
+	Program core.Program // shardable program (same binary as the server's)
+	Device  *device.Device
+	Client  *http.Client
+	// PollInterval paces the assignment/curve polling loops (default 20ms).
+	PollInterval time.Duration
+	Seed         int64
+}
+
+func (e *Edge) client() *http.Client {
+	if e.Client != nil {
+		return e.Client
+	}
+	return http.DefaultClient
+}
+
+func (e *Edge) poll() time.Duration {
+	if e.PollInterval > 0 {
+		return e.PollInterval
+	}
+	return 20 * time.Millisecond
+}
+
+// Run executes the full edge-side protocol and returns the final curve.
+func (e *Edge) Run() (*pareto.Curve, error) {
+	// Step 1: register, get shard assignment.
+	var reg registerResp
+	if err := e.post("/v1/register", registerReq{EdgeID: e.ID}, &reg); err != nil {
+		return nil, err
+	}
+	local := e.Program
+	if sh, ok := e.Program.(core.Sharder); ok && reg.Hi > reg.Lo {
+		sp, err := sh.Shard(reg.Lo, reg.Hi)
+		if err != nil {
+			return nil, fmt.Errorf("distrib: edge %d shard: %w", e.ID, err)
+		}
+		local = sp
+	}
+
+	// Step 2: collect hardware-knob profiles on the shard and upload.
+	profs := core.CollectProfiles(local, nil, func(op int) []approx.KnobID {
+		return core.HardwareKnobsFor(local, op, reg.AllowFP16)
+	}, tensor.NewRNG(e.Seed+int64(e.ID)))
+	payload, err := profs.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if err := e.post("/v1/profiles", profilesReq{EdgeID: e.ID, Profiles: payload}, nil); err != nil {
+		return nil, err
+	}
+
+	// Step 3: poll for the validation assignment, validate, upload the
+	// local Pareto set.
+	var asn assignmentsResp
+	for {
+		if err := e.get(fmt.Sprintf("/v1/assignments?edge=%d", e.ID), &asn); err != nil {
+			return nil, err
+		}
+		if asn.Ready {
+			break
+		}
+		time.Sleep(e.poll())
+	}
+	rng := tensor.NewRNG(e.Seed + 1000 + int64(e.ID))
+	var pts []pareto.Point
+	for i, pt := range asn.Configs {
+		if e.Device != nil && !core.DeviceSupports(e.Device, pt.Config) {
+			continue
+		}
+		out := local.Run(pt.Config, core.Calib, rng.Split(int64(i)))
+		realQoS := local.Score(core.Calib, out)
+		if realQoS <= asn.QoSMin {
+			continue
+		}
+		perf := pt.Perf
+		if e.Device != nil {
+			perf = core.MeasurePerf(e.Program, e.Device, asn.Obj, pt.Config)
+		}
+		pts = append(pts, pareto.Point{QoS: realQoS, Perf: perf, Config: pt.Config})
+	}
+	if err := e.post("/v1/validated", validatedReq{EdgeID: e.ID, Points: pareto.Set(pts)}, nil); err != nil {
+		return nil, err
+	}
+
+	// Step 4: fetch the final curve.
+	for {
+		var cr curveResp
+		if err := e.get("/v1/curve", &cr); err != nil {
+			return nil, err
+		}
+		if cr.Ready {
+			return pareto.UnmarshalCurve(cr.Curve)
+		}
+		time.Sleep(e.poll())
+	}
+}
+
+func (e *Edge) post(path string, req any, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := e.client().Post(e.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("distrib: POST %s: %w", path, err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 1024))
+		return fmt.Errorf("distrib: POST %s: %s: %s", path, r.Status, msg)
+	}
+	if resp == nil {
+		return nil
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+func (e *Edge) get(path string, resp any) error {
+	r, err := e.client().Get(e.BaseURL + path)
+	if err != nil {
+		return fmt.Errorf("distrib: GET %s: %w", path, err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 1024))
+		return fmt.Errorf("distrib: GET %s: %s: %s", path, r.Status, msg)
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}

@@ -1,0 +1,210 @@
+package distrib
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/predictor"
+	"repro/internal/qos"
+	"repro/internal/tensor"
+)
+
+func buildProgram(t testing.TB) (*core.GraphProgram, float64) {
+	t.Helper()
+	b := models.MustBuild("lenet", models.Scale{Images: 24, Width: 0.125, ImageNetSize: 32, Seed: 31})
+	calib, test := b.Dataset.Split()
+	gp, err := core.NewGraphProgram(b.Model.Graph, calib.Images, test.Images,
+		qos.Accuracy{Labels: calib.Labels}, qos.Accuracy{Labels: test.Labels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp.CalibMetricFor = func(lo, hi int) qos.Metric {
+		return qos.Accuracy{Labels: calib.Labels[lo:hi]}
+	}
+	base := gp.Score(core.Calib, gp.BaselineOut(core.Calib))
+	return gp, base
+}
+
+func devProfiles(t testing.TB, gp *core.GraphProgram) *predictor.Profiles {
+	t.Helper()
+	pol := core.KnobPolicy{AllowFP16: true}
+	return core.CollectProfiles(gp, nil, func(op int) []approx.KnobID {
+		return core.KnobsFor(gp, op, pol)
+	}, tensor.NewRNG(7))
+}
+
+func TestFullProtocolOverHTTP(t *testing.T) {
+	gp, base := buildProgram(t)
+	profs := devProfiles(t, gp)
+	const nEdge = 3
+	opts := core.InstallOptions{
+		Options: core.Options{
+			QoSMin: base - 10, NCalibrate: 5, MaxIters: 150, StallLimit: 80,
+			MaxConfigs: 12, Policy: core.KnobPolicy{AllowFP16: true}, Seed: 3,
+			Model: predictor.Pi2,
+		},
+		Device:    device.NewTX2GPU(),
+		Objective: core.MinimizeEnergy,
+		NEdge:     nEdge,
+	}
+	coord, err := NewCoordinator(gp, profs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	curves := make([]*interface{}, 0)
+	_ = curves
+	results := make([]*errCurve, nEdge)
+	for i := 0; i < nEdge; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := &Edge{
+				ID: i, BaseURL: srv.URL, Program: gp,
+				Device: device.NewTX2GPU(), Seed: 11,
+			}
+			c, err := e.Run()
+			results[i] = &errCurve{c, err}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("edge %d: %v", i, r.err)
+		}
+		if r.curve.Len() == 0 {
+			t.Fatalf("edge %d received empty final curve", i)
+		}
+	}
+	// Coordinator agrees with what edges fetched.
+	final, ok := coord.FinalCurve()
+	if !ok {
+		t.Fatal("coordinator has no final curve")
+	}
+	if final.Len() != results[0].curve.Len() {
+		t.Fatalf("curve length mismatch: %d vs %d", final.Len(), results[0].curve.Len())
+	}
+	// Every shipped point meets the QoS threshold (validated on shards).
+	for _, pt := range final.Points {
+		if pt.QoS <= opts.QoSMin {
+			t.Errorf("shipped point below threshold: %v", pt.QoS)
+		}
+		if pt.Perf <= 0 {
+			t.Errorf("bad Perf %v", pt.Perf)
+		}
+	}
+}
+
+type errCurve struct {
+	curve interface{ Len() int }
+	err   error
+}
+
+func TestHTTPMatchesInProcessInstallTune(t *testing.T) {
+	// The HTTP transport and the goroutine-simulated fleet implement the
+	// same protocol; with one edge (no sharding noise), both should find
+	// feasible curves of the same character.
+	gp, base := buildProgram(t)
+	profs := devProfiles(t, gp)
+	opts := core.InstallOptions{
+		Options: core.Options{
+			QoSMin: base - 10, NCalibrate: 5, MaxIters: 150, StallLimit: 80,
+			MaxConfigs: 12, Policy: core.KnobPolicy{AllowFP16: true}, Seed: 3,
+			Model: predictor.Pi2,
+		},
+		Device:    device.NewTX2GPU(),
+		Objective: core.MinimizeEnergy,
+		NEdge:     1,
+	}
+	inproc, err := core.InstallTune(gp, profs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(gp, profs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	e := &Edge{ID: 0, BaseURL: srv.URL, Program: gp, Device: device.NewTX2GPU(), Seed: 11}
+	viaHTTP, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inproc.Curve.Len() == 0 || viaHTTP.Len() == 0 {
+		t.Fatalf("empty curves: in-process %d, http %d", inproc.Curve.Len(), viaHTTP.Len())
+	}
+}
+
+func TestRegisterRejectsBadEdgeID(t *testing.T) {
+	gp, base := buildProgram(t)
+	coord, err := NewCoordinator(gp, devProfiles(t, gp), core.InstallOptions{
+		Options: core.Options{QoSMin: base - 10, Seed: 1},
+		Device:  device.NewTX2GPU(),
+		NEdge:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	e := &Edge{ID: 99, BaseURL: srv.URL, Program: gp, Seed: 1}
+	if _, err := e.Run(); err == nil {
+		t.Fatal("out-of-range edge id must be rejected")
+	}
+}
+
+func TestProfilesSerializationRoundTrip(t *testing.T) {
+	gp, _ := buildProgram(t)
+	profs := devProfiles(t, gp)
+	data, err := profs.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := predictor.UnmarshalProfiles(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.BaseQoS != profs.BaseQoS {
+		t.Errorf("BaseQoS %v != %v", back.BaseQoS, profs.BaseQoS)
+	}
+	if len(back.DeltaQ) != len(profs.DeltaQ) || len(back.DeltaT) != len(profs.DeltaT) {
+		t.Fatalf("table sizes changed: %d/%d vs %d/%d",
+			len(back.DeltaQ), len(back.DeltaT), len(profs.DeltaQ), len(profs.DeltaT))
+	}
+	for k, v := range profs.DeltaQ {
+		if back.DeltaQ[k] != v {
+			t.Fatalf("ΔQ[%v] changed: %v vs %v", k, back.DeltaQ[k], v)
+		}
+	}
+	for k, v := range profs.DeltaT {
+		bt := back.DeltaT[k]
+		if bt == nil || !tensor.Equal(bt, v, 0) {
+			t.Fatalf("ΔT[%v] changed", k)
+		}
+	}
+	if !tensor.Equal(back.BaseOut, profs.BaseOut, 0) {
+		t.Fatal("BaseOut changed")
+	}
+}
+
+func TestProfilesUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := predictor.UnmarshalProfiles([]byte("nope")); err == nil {
+		t.Fatal("garbage must not parse")
+	}
+	if _, err := predictor.UnmarshalProfiles([]byte(`{"delta_q":[{"op":0,"knob":9999,"dq":-1}]}`)); err == nil {
+		t.Fatal("unknown knob must be rejected")
+	}
+	if _, err := predictor.UnmarshalProfiles([]byte(`{"base_out":{"dims":[2,2],"data":"AAAA"}}`)); err == nil {
+		t.Fatal("mismatched tensor payload must be rejected")
+	}
+}

@@ -1,0 +1,352 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/approx"
+	"repro/internal/promise"
+	"repro/internal/tensor"
+	"repro/internal/tensorops"
+)
+
+// ExecOptions controls a graph execution.
+type ExecOptions struct {
+	// RNG supplies the reproducible noise stream for PROMISE knobs. It is
+	// required whenever the configuration maps any op to a PROMISE level.
+	RNG *tensor.RNG
+}
+
+// Execute runs the program on input under the given configuration and
+// returns the output tensor. Unmapped ops run exactly in FP32. Execute
+// panics on a structurally invalid knob assignment (use ValidateConfig to
+// vet configurations from external sources first).
+func (g *Graph) Execute(input *tensor.Tensor, cfg approx.Config, opts ExecOptions) *tensor.Tensor {
+	vals := make([]*tensor.Tensor, len(g.Nodes))
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case OpInput:
+			vals[n.ID] = input
+		default:
+			vals[n.ID] = g.execNode(n, vals, cfg.Knob(n.ID), opts)
+		}
+	}
+	return vals[g.Output]
+}
+
+// ExecuteAll runs the program and returns every node's value (indexed by
+// node ID). The per-node values let profile collection re-execute only the
+// suffix of the graph affected by approximating a single operator.
+func (g *Graph) ExecuteAll(input *tensor.Tensor, cfg approx.Config, opts ExecOptions) []*tensor.Tensor {
+	vals := make([]*tensor.Tensor, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n.Kind == OpInput {
+			vals[n.ID] = input
+			continue
+		}
+		vals[n.ID] = g.execNode(n, vals, cfg.Knob(n.ID), opts)
+	}
+	return vals
+}
+
+// ExecuteFrom re-executes the nodes with ID ≥ from, reusing base values
+// for earlier nodes, and returns the program output. base must come from
+// ExecuteAll on the same input; it is not mutated. This is the fast path
+// of profile collection (§3.2): approximating op k only requires
+// recomputing the graph suffix.
+func (g *Graph) ExecuteFrom(base []*tensor.Tensor, from int, cfg approx.Config, opts ExecOptions) *tensor.Tensor {
+	if len(base) != len(g.Nodes) {
+		panic(fmt.Sprintf("graph: base has %d values for %d nodes", len(base), len(g.Nodes)))
+	}
+	vals := make([]*tensor.Tensor, len(g.Nodes))
+	copy(vals, base)
+	for _, n := range g.Nodes {
+		if n.ID < from || n.Kind == OpInput {
+			continue
+		}
+		vals[n.ID] = g.execNode(n, vals, cfg.Knob(n.ID), opts)
+	}
+	return vals[g.Output]
+}
+
+func (g *Graph) execNode(n *Node, vals []*tensor.Tensor, kid approx.KnobID, opts ExecOptions) *tensor.Tensor {
+	knob := approx.MustLookup(kid)
+	x := vals[n.Inputs[0]]
+	prec := knob.Prec
+
+	switch n.Kind {
+	case OpConv:
+		var out *tensor.Tensor
+		switch knob.Kind {
+		case approx.KindBaseline, approx.KindFP16:
+			out = tensorops.Conv2D(x, n.Weight, n.Conv, prec)
+		case approx.KindSampling:
+			out = tensorops.Conv2DFilterSampling(x, n.Weight, n.Conv, knob.Stride, knob.Offset, prec)
+		case approx.KindPerforation:
+			out = tensorops.Conv2DPerforated(x, n.Weight, n.Conv, knob.Dir, knob.Stride, knob.Offset, prec)
+		case approx.KindPromise:
+			out = tensorops.Conv2D(x, n.Weight, n.Conv, tensorops.FP32)
+			g.perturb(out, knob.Level, opts)
+			prec = tensorops.FP32
+		case approx.KindInt8:
+			out = tensorops.Conv2DInt8(x, n.Weight, n.Conv)
+			prec = tensorops.FP32
+		default:
+			panicKnob(n, knob)
+		}
+		return g.epilogue(n, out, prec)
+
+	case OpMatMul:
+		var out *tensor.Tensor
+		switch knob.Kind {
+		case approx.KindBaseline, approx.KindFP16:
+			out = tensorops.MatMul(tensorops.Flatten(x), n.Weight, prec)
+		case approx.KindPromise:
+			out = tensorops.MatMul(tensorops.Flatten(x), n.Weight, tensorops.FP32)
+			g.perturb(out, knob.Level, opts)
+			prec = tensorops.FP32
+		case approx.KindInt8:
+			out = tensorops.MatMulInt8(tensorops.Flatten(x), n.Weight)
+			prec = tensorops.FP32
+		default:
+			panicKnob(n, knob)
+		}
+		return g.epilogue(n, out, prec)
+
+	case OpMaxPool, OpAvgPool:
+		num, den := 1, 1
+		switch knob.Kind {
+		case approx.KindBaseline, approx.KindFP16:
+		case approx.KindReduceSampling:
+			num, den = knob.RatioNum, knob.RatioDen
+		default:
+			panicKnob(n, knob)
+		}
+		if n.Kind == OpMaxPool {
+			return tensorops.MaxPoolSampled(x, n.Pool, num, den, prec)
+		}
+		return tensorops.AvgPoolSampled(x, n.Pool, num, den, prec)
+
+	case OpReduce:
+		num, den := 1, 1
+		switch knob.Kind {
+		case approx.KindBaseline, approx.KindFP16:
+		case approx.KindReduceSampling:
+			num, den = knob.RatioNum, knob.RatioDen
+		default:
+			panicKnob(n, knob)
+		}
+		return tensorops.Reduce(x, n.Reduce, num, den, prec)
+
+	case OpReLU:
+		requirePrecOnly(n, knob)
+		return tensorops.ReLU(x, prec)
+	case OpClippedReLU:
+		requirePrecOnly(n, knob)
+		return tensorops.ClippedReLU(x, n.Clip, prec)
+	case OpTanh:
+		requirePrecOnly(n, knob)
+		return tensorops.Tanh(x, prec)
+	case OpBatchNorm:
+		requirePrecOnly(n, knob)
+		return tensorops.BatchNorm(x, n.BN, prec)
+	case OpSoftmax:
+		requirePrecOnly(n, knob)
+		return tensorops.Softmax(tensorops.Flatten(x), prec)
+	case OpAdd:
+		requirePrecOnly(n, knob)
+		return tensorops.Add(x, vals[n.Inputs[1]], prec)
+	case OpFlatten:
+		return tensorops.Flatten(x)
+	case OpAbs:
+		requirePrecOnly(n, knob)
+		return tensorops.Abs(x, prec)
+	case OpSqrt:
+		requirePrecOnly(n, knob)
+		return tensorops.Sqrt(x, prec)
+	case OpMul:
+		requirePrecOnly(n, knob)
+		return tensorops.Mul(x, vals[n.Inputs[1]], prec)
+	case OpNMS:
+		requirePrecOnly(n, knob)
+		return tensorops.NonMaxSuppress(x, vals[n.Inputs[1]], vals[n.Inputs[2]], prec)
+	case OpHysteresis:
+		requirePrecOnly(n, knob)
+		return tensorops.Hysteresis(x, n.ThreshLo, n.ThreshHi, prec)
+	default:
+		panic(fmt.Sprintf("graph: unknown op kind %d", n.Kind))
+	}
+}
+
+// epilogue applies the fused bias and activation of a conv/matmul node.
+func (g *Graph) epilogue(n *Node, out *tensor.Tensor, prec tensorops.Precision) *tensor.Tensor {
+	if n.Bias != nil {
+		out = tensorops.BiasAdd(out, n.Bias, prec)
+	}
+	switch n.Act {
+	case ActReLU:
+		out = tensorops.ReLU(out, prec)
+	case ActClippedReLU:
+		out = tensorops.ClippedReLU(out, n.Clip, prec)
+	case ActTanh:
+		out = tensorops.Tanh(out, prec)
+	}
+	return out
+}
+
+func (g *Graph) perturb(out *tensor.Tensor, level int, opts ExecOptions) {
+	if opts.RNG == nil {
+		panic("graph: PROMISE knob requires ExecOptions.RNG")
+	}
+	promise.Perturb(out, level, opts.RNG)
+}
+
+func requirePrecOnly(n *Node, k approx.Knob) {
+	if k.Kind != approx.KindBaseline && k.Kind != approx.KindFP16 {
+		panicKnob(n, k)
+	}
+}
+
+func panicKnob(n *Node, k approx.Knob) {
+	panic(fmt.Sprintf("graph: knob %s not applicable to %s node %q", k.Name(), n.Kind, n.Name))
+}
+
+// StandardizeWeights folds an inference-time normalization into every
+// convolution and dense node: running a probe batch through the network,
+// it rescales each node's weights and bias so the pre-activation outputs
+// have per-channel zero mean and unit variance on the probe. This is the
+// build-time equivalent of folding trained batch-norm statistics into the
+// preceding convolution — standard practice in deployed inference — and
+// keeps deep synthetic networks well-conditioned so their predictions vary
+// across inputs.
+func (g *Graph) StandardizeWeights(probe *tensor.Tensor) {
+	vals := make([]*tensor.Tensor, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n.Kind == OpInput {
+			vals[n.ID] = probe
+			continue
+		}
+		if n.Kind == OpConv || n.Kind == OpMatMul {
+			raw := g.rawLinear(n, vals)
+			standardizeNode(n, raw)
+		}
+		vals[n.ID] = g.execNode(n, vals, approx.KnobFP32, ExecOptions{})
+	}
+}
+
+// rawLinear computes a conv/matmul node's pre-activation output (weights
+// applied, bias added, activation NOT applied) in exact FP32.
+func (g *Graph) rawLinear(n *Node, vals []*tensor.Tensor) *tensor.Tensor {
+	x := vals[n.Inputs[0]]
+	var out *tensor.Tensor
+	if n.Kind == OpConv {
+		out = tensorops.Conv2D(x, n.Weight, n.Conv, tensorops.FP32)
+	} else {
+		out = tensorops.MatMul(tensorops.Flatten(x), n.Weight, tensorops.FP32)
+	}
+	if n.Bias != nil {
+		out = tensorops.BiasAdd(out, n.Bias, tensorops.FP32)
+	}
+	return out
+}
+
+// standardizeNode rescales the node's weights/bias so the given raw output
+// would have had per-output-channel zero mean and unit variance.
+func standardizeNode(n *Node, raw *tensor.Tensor) {
+	channels := raw.Dim(1)
+	mean := make([]float64, channels)
+	m2 := make([]float64, channels)
+	count := make([]float64, channels)
+	d := raw.Data()
+	if n.Kind == OpConv {
+		nb, sp := raw.Dim(0), raw.Dim(2)*raw.Dim(3)
+		for img := 0; img < nb; img++ {
+			for c := 0; c < channels; c++ {
+				seg := d[(img*channels+c)*sp : (img*channels+c+1)*sp]
+				for _, v := range seg {
+					mean[c] += float64(v)
+					m2[c] += float64(v) * float64(v)
+					count[c]++
+				}
+			}
+		}
+	} else {
+		nb := raw.Dim(0)
+		for img := 0; img < nb; img++ {
+			row := d[img*channels : (img+1)*channels]
+			for c, v := range row {
+				mean[c] += float64(v)
+				m2[c] += float64(v) * float64(v)
+				count[c]++
+			}
+		}
+	}
+	for c := 0; c < channels; c++ {
+		mean[c] /= count[c]
+		variance := m2[c]/count[c] - mean[c]*mean[c]
+		std := math.Sqrt(math.Max(variance, 1e-6))
+		if std < 1e-3 {
+			std = 1e-3
+		}
+		scaleOutputChannel(n, c, float32(1/std), float32(-mean[c]/std))
+	}
+}
+
+// scaleOutputChannel applies w' = w*scale, b' = b*scale + shift to output
+// channel c of a conv (weight rows) or matmul (weight columns) node.
+func scaleOutputChannel(n *Node, c int, scale, shift float32) {
+	wd := n.Weight.Data()
+	if n.Kind == OpConv {
+		fvol := n.Weight.Elems() / n.Weight.Dim(0)
+		seg := wd[c*fvol : (c+1)*fvol]
+		for i := range seg {
+			seg[i] *= scale
+		}
+	} else {
+		m := n.Weight.Dim(1)
+		k := n.Weight.Dim(0)
+		for r := 0; r < k; r++ {
+			wd[r*m+c] *= scale
+		}
+	}
+	if n.Bias == nil {
+		if n.Kind == OpConv {
+			n.Bias = tensor.New(n.Weight.Dim(0))
+		} else {
+			n.Bias = tensor.New(n.Weight.Dim(1))
+		}
+	}
+	bd := n.Bias.Data()
+	bd[c] = bd[c]*scale + shift
+}
+
+// ValidateConfig checks that every knob in cfg is applicable to the node
+// it targets; it guards against malformed shipped configurations.
+func (g *Graph) ValidateConfig(cfg approx.Config) error {
+	for op, kid := range cfg {
+		if op < 0 || op >= len(g.Nodes) {
+			return fmt.Errorf("graph %q: config references op %d of %d", g.Name, op, len(g.Nodes))
+		}
+		knob, ok := approx.Lookup(kid)
+		if !ok {
+			return fmt.Errorf("graph %q: unknown knob %d on op %d", g.Name, kid, op)
+		}
+		n := g.Nodes[op]
+		class := n.Kind.Class()
+		ok = false
+		if knob.Kind == approx.KindInt8 {
+			ok = class == approx.OpConv || class == approx.OpMatMul
+		} else {
+			for _, valid := range approx.KnobsFor(class, true) {
+				if valid == kid {
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			return fmt.Errorf("graph %q: knob %s not applicable to %s node %q", g.Name, knob.Name(), n.Kind, n.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/qos"
+	"repro/internal/tensorops"
+)
+
+// Small scale for tests: few images, narrow nets.
+var testScale = Scale{Images: 16, Width: 0.125, ImageNetSize: 32, Seed: 3}
+
+func TestLayerCountsMatchTable1(t *testing.T) {
+	// Table 1 layer counts are structural; verify each builder reproduces
+	// its row exactly.
+	for _, name := range Names() {
+		want, _ := TableLayers(name)
+		b := MustBuild(name, testScale)
+		if got := b.Model.Graph.LayerCount(); got != want {
+			t.Errorf("%s: layer count %d, want %d (Table 1)", name, got, want)
+		}
+	}
+}
+
+func TestConvCountsForCharacterization(t *testing.T) {
+	// §7.2 references 21 convolutions in ResNet-18 and 53 in ResNet-50.
+	cases := map[string]int{"resnet18": 21, "resnet50": 53, "mobilenet": 27}
+	for name, want := range cases {
+		b := MustBuild(name, testScale)
+		convs := 0
+		for _, n := range b.Model.Graph.Nodes {
+			if n.Kind == graph.OpConv {
+				convs++
+			}
+		}
+		if convs != want {
+			t.Errorf("%s: %d convolutions, want %d", name, convs, want)
+		}
+	}
+}
+
+func TestPlantedBaselineAccuracy(t *testing.T) {
+	b := MustBuild("lenet", testScale)
+	m := qos.Accuracy{Labels: b.Dataset.Labels}
+	out := b.Model.Graph.Execute(b.Dataset.Images, nil, graph.ExecOptions{})
+	acc := m.Score(out)
+	if math.Abs(acc-b.BaselineAcc) > 1e-9 {
+		t.Errorf("measured baseline accuracy %v != planted %v", acc, b.BaselineAcc)
+	}
+	// Planted accuracy should approximate the Table-1 target given the
+	// small N (quantized to 1/N).
+	if math.Abs(b.BaselineAcc-98.70) > 100.0/float64(b.Dataset.N()) {
+		t.Errorf("planted accuracy %v too far from target 98.70", b.BaselineAcc)
+	}
+}
+
+func TestPredictionsAreDiverse(t *testing.T) {
+	// A degenerate network that always predicts one class would make the
+	// accuracy metric useless; check the baseline predictions vary.
+	for _, name := range []string{"alexnet", "resnet18"} {
+		b := MustBuild(name, testScale)
+		out := b.Model.Graph.Execute(b.Dataset.Images, nil, graph.ExecOptions{})
+		classes := map[int]bool{}
+		for _, p := range out.RowArgMax() {
+			classes[p] = true
+		}
+		if len(classes) < 2 {
+			t.Errorf("%s: baseline predicts only %d distinct classes", name, len(classes))
+		}
+	}
+}
+
+func TestApproximationDegradesAccuracyGradually(t *testing.T) {
+	// The planted-label protocol must make accuracy respond to
+	// approximation error: aggressive perforation everywhere should lose
+	// more accuracy than FP16 everywhere.
+	b := MustBuild("alexnet", Scale{Images: 32, Width: 0.25, ImageNetSize: 32, Seed: 5})
+	m := qos.Accuracy{Labels: b.Dataset.Labels}
+	exec := func(cfg approx.Config) float64 {
+		return m.Score(b.Model.Graph.Execute(b.Dataset.Images, cfg, graph.ExecOptions{}))
+	}
+	base := exec(nil)
+
+	fp16 := approx.Config{}
+	heavy := approx.Config{}
+	for _, op := range b.Model.Graph.ApproxOps() {
+		fp16[op] = approx.KnobFP16
+		switch b.Model.Graph.Nodes[op].Kind.Class() {
+		case approx.OpConv:
+			heavy[op] = approx.PerforationKnob(tensorops.PerfRows, 2, 0, tensorops.FP32)
+		case approx.OpReduce:
+			heavy[op] = approx.ReduceSamplingKnob(2, tensorops.FP32)
+		default:
+			heavy[op] = approx.KnobFP16
+		}
+	}
+	accFP16 := exec(fp16)
+	accHeavy := exec(heavy)
+	if math.Abs(accFP16-base) > 7 {
+		t.Errorf("FP16 should barely move accuracy: base %v, fp16 %v", base, accFP16)
+	}
+	if accHeavy > accFP16 {
+		t.Errorf("heavy approximation (%v) should not beat FP16 (%v)", accHeavy, accFP16)
+	}
+	if accHeavy >= base {
+		t.Errorf("heavy approximation should lose accuracy: base %v, heavy %v", base, accHeavy)
+	}
+}
+
+func TestBuildUnknownBenchmark(t *testing.T) {
+	if _, err := Build("nope", testScale); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := MustBuild("lenet", testScale)
+	b := MustBuild("lenet", testScale)
+	if a.BaselineAcc != b.BaselineAcc {
+		t.Fatal("same scale must give same planted accuracy")
+	}
+	for i := range a.Dataset.Labels {
+		if a.Dataset.Labels[i] != b.Dataset.Labels[i] {
+			t.Fatal("labels differ across identical builds")
+		}
+	}
+}
+
+func TestSearchSpaceOrdering(t *testing.T) {
+	// Deeper networks must have (astronomically) larger search spaces,
+	// reproducing the ordering of Table 1.
+	sizeOf := func(name string) float64 {
+		b := MustBuild(name, testScale)
+		return approx.SearchSpaceSize(b.Model.Graph.OpClasses(), false)
+	}
+	lenet := sizeOf("lenet")
+	alexnet := sizeOf("alexnet")
+	resnet18 := sizeOf("resnet18")
+	if !(lenet < alexnet && alexnet < resnet18) {
+		t.Errorf("search spaces should grow with depth: %g, %g, %g", lenet, alexnet, resnet18)
+	}
+	if lenet < 1e2 || lenet > 1e7 {
+		t.Errorf("lenet search space %g outside sanity range", lenet)
+	}
+}
+
+func TestPruneZeroesWeights(t *testing.T) {
+	b := MustBuild("lenet", testScale)
+	got := Prune(b.Model, 0.5)
+	if got < 0.45 || got > 0.60 {
+		t.Errorf("pruned fraction %v, want ~0.5", got)
+	}
+	// Network still runs and produces finite outputs.
+	out := b.Model.Graph.Execute(b.Dataset.Images, nil, graph.ExecOptions{})
+	for _, v := range out.Data() {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("pruned network produced non-finite output")
+		}
+	}
+}
+
+func TestPruneBadFractionPanics(t *testing.T) {
+	b := MustBuild("lenet", testScale)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Prune(b.Model, 1.5)
+}
+
+func TestModelInputShape(t *testing.T) {
+	b := MustBuild("alexnet", testScale)
+	s := b.Model.InputShape(7)
+	if s.Dim(0) != 7 || s.Dim(1) != 3 || s.Dim(2) != 32 || s.Dim(3) != 32 {
+		t.Fatalf("InputShape = %v", s)
+	}
+}
+
+func TestAllBenchmarksExecute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range Names() {
+		b := MustBuild(name, testScale)
+		ds := b.Dataset.Slice(0, 4)
+		out := b.Model.Graph.Execute(ds.Images, nil, graph.ExecOptions{})
+		if out.Dim(0) != 4 || out.Dim(1) != b.Model.Classes {
+			t.Errorf("%s: output shape %v, want (4x%d)", name, out.Shape(), b.Model.Classes)
+		}
+		for _, v := range out.Data() {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Errorf("%s: non-finite output", name)
+				break
+			}
+		}
+	}
+}
+
+func TestDatasetSplitKeepsLabels(t *testing.T) {
+	b := MustBuild("lenet", testScale)
+	calib, test := b.Dataset.Split()
+	if calib.Labels == nil || test.Labels == nil {
+		t.Fatal("split lost labels")
+	}
+	if len(calib.Labels) != calib.N() || len(test.Labels) != test.N() {
+		t.Fatal("label lengths wrong after split")
+	}
+	_ = datasets.Dataset{}
+}

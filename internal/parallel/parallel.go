@@ -1,0 +1,60 @@
+// Package parallel provides the small data-parallel looping primitives the
+// tensor kernels are built on. Work is chunked across GOMAXPROCS workers;
+// on a single-core host the loops degrade gracefully to sequential
+// execution with negligible overhead.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// For runs fn(i) for every i in [0,n), splitting the index space into
+// contiguous chunks executed by up to GOMAXPROCS goroutines. It returns
+// once every iteration has completed. fn must be safe to call concurrently
+// for distinct i.
+func For(n int, fn func(i int)) {
+	ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForChunked runs fn(lo,hi) over a partition of [0,n) into contiguous
+// half-open chunks, one chunk per worker. Chunking amortizes dispatch
+// overhead when the per-index work is small.
+func ForChunked(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Map runs fn over [0,n) and collects the results in order.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,76 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	const n = 1000
+	var hits [n]int32
+	For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d executed %d times, want exactly once", i, h)
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	ran := false
+	For(0, func(i int) { ran = true })
+	For(-5, func(i int) { ran = true })
+	if ran {
+		t.Fatal("For must not run any iteration for n <= 0")
+	}
+}
+
+func TestForChunkedPartition(t *testing.T) {
+	// Property: chunks form a partition of [0,n) for any n.
+	f := func(n uint8) bool {
+		total := int(n)
+		var count int64
+		ForChunked(total, func(lo, hi int) {
+			if lo < 0 || hi > total || lo > hi {
+				t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, total)
+			}
+			atomic.AddInt64(&count, int64(hi-lo))
+		})
+		return int(count) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapOrdering(t *testing.T) {
+	got := Map(10, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestForUsesMultipleGoroutinesWhenAvailable(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single-proc host: parallel dispatch degenerates to sequential")
+	}
+	var peak int32
+	var cur int32
+	For(64, func(i int) {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak < 1 {
+		t.Fatal("no iterations observed")
+	}
+}

@@ -1,0 +1,124 @@
+package predictor
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/approx"
+	"repro/internal/tensor"
+)
+
+// Wire serialization for profiles: the distributed install-time protocol
+// (§4) ships per-shard profiles from edge devices to the server. ΔQ
+// entries are plain JSON; ΔT tensors are base64-encoded little-endian
+// float32 rows to keep payloads compact.
+
+type profilesJSON struct {
+	BaseQoS float64     `json:"base_qos"`
+	BaseOut *tensorJSON `json:"base_out,omitempty"`
+	DeltaQ  []entryQ    `json:"delta_q"`
+	DeltaT  []entryT    `json:"delta_t,omitempty"`
+}
+
+type entryQ struct {
+	Op   int           `json:"op"`
+	Knob approx.KnobID `json:"knob"`
+	DQ   float64       `json:"dq"`
+}
+
+type entryT struct {
+	Op   int           `json:"op"`
+	Knob approx.KnobID `json:"knob"`
+	T    tensorJSON    `json:"t"`
+}
+
+type tensorJSON struct {
+	Dims []int  `json:"dims"`
+	Data string `json:"data"` // base64 LE float32
+}
+
+func encodeTensor(t *tensor.Tensor) tensorJSON {
+	buf := make([]byte, 4*t.Elems())
+	for i, v := range t.Data() {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	return tensorJSON{Dims: t.Shape().Dims(), Data: base64.StdEncoding.EncodeToString(buf)}
+}
+
+func decodeTensor(tj tensorJSON) (*tensor.Tensor, error) {
+	buf, err := base64.StdEncoding.DecodeString(tj.Data)
+	if err != nil {
+		return nil, fmt.Errorf("predictor: bad tensor payload: %w", err)
+	}
+	if len(buf)%4 != 0 {
+		return nil, fmt.Errorf("predictor: tensor payload length %d not a multiple of 4", len(buf))
+	}
+	data := make([]float32, len(buf)/4)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	elems := 1
+	for _, d := range tj.Dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("predictor: bad tensor dim %d", d)
+		}
+		elems *= d
+	}
+	if elems != len(data) {
+		return nil, fmt.Errorf("predictor: tensor dims %v do not match %d elements", tj.Dims, len(data))
+	}
+	return tensor.FromSlice(data, tj.Dims...), nil
+}
+
+// Marshal serializes the profiles for network transport.
+func (p *Profiles) Marshal() ([]byte, error) {
+	out := profilesJSON{BaseQoS: p.BaseQoS}
+	if p.BaseOut != nil {
+		tj := encodeTensor(p.BaseOut)
+		out.BaseOut = &tj
+	}
+	for k, dq := range p.DeltaQ {
+		out.DeltaQ = append(out.DeltaQ, entryQ{Op: k.Op, Knob: k.Knob, DQ: dq})
+	}
+	for k, t := range p.DeltaT {
+		out.DeltaT = append(out.DeltaT, entryT{Op: k.Op, Knob: k.Knob, T: encodeTensor(t)})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalProfiles restores serialized profiles, validating knob IDs.
+func UnmarshalProfiles(data []byte) (*Profiles, error) {
+	var in profilesJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("predictor: bad profiles: %w", err)
+	}
+	var baseOut *tensor.Tensor
+	if in.BaseOut != nil {
+		t, err := decodeTensor(*in.BaseOut)
+		if err != nil {
+			return nil, err
+		}
+		baseOut = t
+	}
+	p := NewProfiles(in.BaseQoS, baseOut)
+	for _, e := range in.DeltaQ {
+		if _, ok := approx.Lookup(e.Knob); !ok {
+			return nil, fmt.Errorf("predictor: unknown knob %d in profiles", e.Knob)
+		}
+		p.DeltaQ[Key{e.Op, e.Knob}] = e.DQ
+	}
+	for _, e := range in.DeltaT {
+		if _, ok := approx.Lookup(e.Knob); !ok {
+			return nil, fmt.Errorf("predictor: unknown knob %d in profiles", e.Knob)
+		}
+		t, err := decodeTensor(e.T)
+		if err != nil {
+			return nil, err
+		}
+		p.DeltaT[Key{e.Op, e.Knob}] = t
+	}
+	return p, nil
+}

@@ -1,0 +1,104 @@
+package tensor
+
+import "math"
+
+// IEEE 754 binary16 ("FP16") conversion. The paper's tensor library stores
+// operands in half precision when an FP16 knob is selected; on our simulated
+// devices the semantic effect is the round-trip float32 -> float16 -> float32
+// quantization implemented here, which is hardware-independent exactly as
+// §2.3 of the paper requires. Conversion uses round-to-nearest-even and
+// handles subnormals, infinities and NaN.
+
+// F32ToF16 converts a float32 to its IEEE binary16 bit pattern.
+func F32ToF16(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23) & 0xff
+	mant := bits & 0x7fffff
+
+	switch {
+	case exp == 0xff: // Inf or NaN
+		if mant != 0 {
+			// NaN: keep a non-zero mantissa (quiet bit set).
+			return sign | 0x7e00
+		}
+		return sign | 0x7c00
+	case exp > 142: // overflow (unbiased exp > 15): round to infinity
+		return sign | 0x7c00
+	case exp < 103: // underflows to zero even as subnormal (unbiased < -24)
+		return sign
+	case exp < 113: // subnormal half
+		// Shift mantissa (with implicit leading 1) right so the exponent
+		// becomes the minimum; round to nearest even.
+		mant |= 0x800000
+		shift := uint32(126 - exp) // 14..23
+		half := uint32(1) << (shift - 1)
+		rounded := mant + half
+		// Round-to-nearest-even: if we were exactly halfway, clear LSB.
+		if mant&((half<<1)-1) == half {
+			rounded = mant + half - 1 + (mant>>shift)&1
+		}
+		return sign | uint16(rounded>>shift)
+	default: // normal half
+		hExp := uint32(exp - 112) // rebias 127 -> 15
+		// Round mantissa from 23 to 10 bits, nearest even.
+		rounded := mant + 0xfff + (mant>>13)&1
+		if rounded&0x800000 != 0 {
+			// Mantissa rounded up past 1.0: bump exponent.
+			rounded = 0
+			hExp++
+			if hExp >= 31 {
+				return sign | 0x7c00
+			}
+		}
+		return sign | uint16(hExp<<10) | uint16(rounded>>13)
+	}
+}
+
+// F16ToF32 converts an IEEE binary16 bit pattern to float32.
+func F16ToF32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1f
+	mant := uint32(h & 0x3ff)
+
+	switch {
+	case exp == 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal half: normalize.
+		e := uint32(113)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | (e << 23) | (mant << 13))
+	case exp == 0x1f:
+		if mant == 0 {
+			return math.Float32frombits(sign | 0x7f800000)
+		}
+		return math.Float32frombits(sign | 0x7fc00000 | (mant << 13))
+	default:
+		return math.Float32frombits(sign | ((exp + 112) << 23) | (mant << 13))
+	}
+}
+
+// QuantizeFP16 rounds v through half precision.
+func QuantizeFP16(v float32) float32 { return F16ToF32(F32ToF16(v)) }
+
+// ToFP16 quantizes every element of t through half precision in place and
+// returns t. Approximate kernels call this on inputs, weights and outputs
+// when an FP16 knob variant is active.
+func (t *Tensor) ToFP16() *Tensor {
+	for i, v := range t.data {
+		t.data[i] = QuantizeFP16(v)
+	}
+	return t
+}
+
+// CloneFP16 returns a copy of t with every element quantized to FP16.
+func (t *Tensor) CloneFP16() *Tensor {
+	c := t.Clone()
+	return c.ToFP16()
+}

@@ -1,0 +1,93 @@
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Shape describes the dimensions of a tensor. It is an immutable value;
+// functions returning a Shape always return a fresh copy.
+type Shape struct {
+	dims []int
+}
+
+// NewShape builds a shape from dimension sizes. Every dimension must be
+// positive; a shape with no dimensions denotes a scalar.
+func NewShape(dims ...int) Shape {
+	d := make([]int, len(dims))
+	for i, v := range dims {
+		if v <= 0 {
+			panic(fmt.Sprintf("tensor: invalid dimension %d at axis %d", v, i))
+		}
+		d[i] = v
+	}
+	return Shape{dims: d}
+}
+
+// Rank returns the number of dimensions.
+func (s Shape) Rank() int { return len(s.dims) }
+
+// Dim returns the size of dimension i.
+func (s Shape) Dim(i int) int { return s.dims[i] }
+
+// Dims returns a copy of the dimension sizes.
+func (s Shape) Dims() []int {
+	d := make([]int, len(s.dims))
+	copy(d, s.dims)
+	return d
+}
+
+// Elems returns the total element count (1 for a scalar).
+func (s Shape) Elems() int {
+	n := 1
+	for _, d := range s.dims {
+		n *= d
+	}
+	return n
+}
+
+// Offset converts a multi-index to a flat row-major offset.
+func (s Shape) Offset(idx ...int) int {
+	if len(idx) != len(s.dims) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape rank %d", len(idx), len(s.dims)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= s.dims[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range [0,%d) at axis %d", x, s.dims[i], i))
+		}
+		off = off*s.dims[i] + x
+	}
+	return off
+}
+
+// Equal reports whether the two shapes have identical dimensions.
+func (s Shape) Equal(o Shape) bool {
+	if len(s.dims) != len(o.dims) {
+		return false
+	}
+	for i := range s.dims {
+		if s.dims[i] != o.dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Shape) String() string {
+	parts := make([]string, len(s.dims))
+	for i, d := range s.dims {
+		parts[i] = fmt.Sprint(d)
+	}
+	return "(" + strings.Join(parts, "x") + ")"
+}
+
+// ConvOutDim returns the output spatial size of a convolution or pooling
+// window: floor((in + 2*pad - kernel)/stride) + 1.
+func ConvOutDim(in, kernel, stride, pad int) int {
+	out := (in+2*pad-kernel)/stride + 1
+	if out <= 0 {
+		panic(fmt.Sprintf("tensor: conv output dim %d not positive (in=%d kernel=%d stride=%d pad=%d)", out, in, kernel, stride, pad))
+	}
+	return out
+}

@@ -1,0 +1,409 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Elems() != 24 {
+		t.Fatalf("Elems = %d, want 24", x.Elems())
+	}
+	for i, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestFromSliceAndAt(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	if got := x.At(0, 0); got != 1 {
+		t.Errorf("At(0,0) = %v, want 1", got)
+	}
+	if got := x.At(1, 2); got != 6 {
+		t.Errorf("At(1,2) = %v, want 6", got)
+	}
+	x.Set(42, 1, 0)
+	if got := x.At(1, 0); got != 42 {
+		t.Errorf("after Set, At(1,0) = %v, want 42", got)
+	}
+}
+
+func TestFromSliceSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on size mismatch")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestScalar(t *testing.T) {
+	s := Scalar(3.5)
+	if s.Rank() != 0 || s.Elems() != 1 || s.Data()[0] != 3.5 {
+		t.Fatalf("Scalar misbehaves: rank=%d elems=%d v=%v", s.Rank(), s.Elems(), s.Data()[0])
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := FromSlice([]float32{1, 2}, 2)
+	y := x.Clone()
+	y.Data()[0] = 99
+	if x.Data()[0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	y := x.Reshape(4)
+	y.Data()[3] = 9
+	if x.At(1, 1) != 9 {
+		t.Fatal("Reshape should be a view over the same data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic reshaping to wrong size")
+		}
+	}()
+	x.Reshape(3)
+}
+
+func TestAddSubScale(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3}, 3)
+	y := FromSlice([]float32{10, 20, 30}, 3)
+	x.Add(y)
+	want := []float32{11, 22, 33}
+	for i, v := range x.Data() {
+		if v != want[i] {
+			t.Fatalf("Add: elem %d = %v, want %v", i, v, want[i])
+		}
+	}
+	x.Sub(y)
+	for i, v := range x.Data() {
+		if v != float32(i+1) {
+			t.Fatalf("Sub: elem %d = %v, want %v", i, v, i+1)
+		}
+	}
+	x.Scale(2)
+	for i, v := range x.Data() {
+		if v != float32(2*(i+1)) {
+			t.Fatalf("Scale: elem %d = %v", i, v)
+		}
+	}
+}
+
+func TestAddScaledMatchesManual(t *testing.T) {
+	x := FromSlice([]float32{1, 1, 1}, 3)
+	d := FromSlice([]float32{2, 4, 6}, 3)
+	x.AddScaled(0.5, d)
+	want := []float32{2, 3, 4}
+	for i, v := range x.Data() {
+		if v != want[i] {
+			t.Fatalf("AddScaled: elem %d = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := FromSlice([]float32{5, 7}, 2)
+	b := FromSlice([]float32{2, 3}, 2)
+	d := Diff(a, b)
+	if d.Data()[0] != 3 || d.Data()[1] != 4 {
+		t.Fatalf("Diff = %v", d.Data())
+	}
+	// a and b untouched
+	if a.Data()[0] != 5 || b.Data()[0] != 2 {
+		t.Fatal("Diff mutated its inputs")
+	}
+}
+
+func TestNormsAndMSE(t *testing.T) {
+	x := FromSlice([]float32{3, -4}, 2)
+	if got := x.L1Norm(); got != 7 {
+		t.Errorf("L1Norm = %v, want 7", got)
+	}
+	if got := x.L2Norm(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("L2Norm = %v, want 5", got)
+	}
+	y := FromSlice([]float32{0, 0}, 2)
+	if got := MSE(x, y); math.Abs(got-12.5) > 1e-9 {
+		t.Errorf("MSE = %v, want 12.5", got)
+	}
+	if got := MaxAbsDiff(x, y); got != 4 {
+		t.Errorf("MaxAbsDiff = %v, want 4", got)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	x := FromSlice([]float32{1, 5, 3, 5}, 4)
+	if got := x.ArgMax(); got != 1 {
+		t.Errorf("ArgMax = %d, want 1 (first of ties)", got)
+	}
+}
+
+func TestRowArgMax(t *testing.T) {
+	x := FromSlice([]float32{
+		0, 9, 1,
+		7, 2, 3,
+	}, 2, 3)
+	got := x.RowArgMax()
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("RowArgMax = %v, want [1 0]", got)
+	}
+}
+
+func TestEqualToleranceAndShape(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{1.0005, 2}, 2)
+	if !Equal(a, b, 1e-3) {
+		t.Error("tensors should be equal within tolerance")
+	}
+	if Equal(a, b, 1e-6) {
+		t.Error("tensors should differ at tight tolerance")
+	}
+	c := FromSlice([]float32{1, 2}, 1, 2)
+	if Equal(a, c, 1) {
+		t.Error("different shapes must not compare equal")
+	}
+}
+
+func TestShapeOffsetRowMajor(t *testing.T) {
+	s := NewShape(2, 3, 4)
+	if got := s.Offset(1, 2, 3); got != 23 {
+		t.Errorf("Offset(1,2,3) = %d, want 23", got)
+	}
+	if got := s.Offset(0, 0, 0); got != 0 {
+		t.Errorf("Offset(0,0,0) = %d, want 0", got)
+	}
+}
+
+func TestShapeOffsetBoundsPanics(t *testing.T) {
+	s := NewShape(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range index")
+		}
+	}()
+	s.Offset(2, 0)
+}
+
+func TestConvOutDim(t *testing.T) {
+	cases := []struct{ in, k, s, p, want int }{
+		{32, 3, 1, 1, 32},
+		{32, 3, 2, 1, 16},
+		{28, 5, 1, 0, 24},
+		{224, 11, 4, 2, 55},
+	}
+	for _, c := range cases {
+		if got := ConvOutDim(c.in, c.k, c.s, c.p); got != c.want {
+			t.Errorf("ConvOutDim(%d,%d,%d,%d) = %d, want %d", c.in, c.k, c.s, c.p, got, c.want)
+		}
+	}
+}
+
+// Property: shape Offset is a bijection onto [0, Elems).
+func TestShapeOffsetBijection(t *testing.T) {
+	s := NewShape(3, 4, 5)
+	seen := make(map[int]bool)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 5; k++ {
+				off := s.Offset(i, j, k)
+				if off < 0 || off >= s.Elems() {
+					t.Fatalf("offset %d out of range", off)
+				}
+				if seen[off] {
+					t.Fatalf("offset %d hit twice", off)
+				}
+				seen[off] = true
+			}
+		}
+	}
+	if len(seen) != s.Elems() {
+		t.Fatalf("covered %d offsets, want %d", len(seen), s.Elems())
+	}
+}
+
+// --- FP16 properties ---
+
+func TestFP16KnownValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		h uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},                 // max half
+		{float32(math.Inf(1)), 0x7c00},  // +inf
+		{float32(math.Inf(-1)), 0xfc00}, // -inf
+		{5.9604645e-8, 0x0001},          // min subnormal half
+	}
+	for _, c := range cases {
+		if got := F32ToF16(c.f); got != c.h {
+			t.Errorf("F32ToF16(%v) = %#04x, want %#04x", c.f, got, c.h)
+		}
+		if back := F16ToF32(c.h); back != c.f {
+			t.Errorf("F16ToF32(%#04x) = %v, want %v", c.h, back, c.f)
+		}
+	}
+}
+
+func TestFP16Overflow(t *testing.T) {
+	if got := F32ToF16(70000); got != 0x7c00 {
+		t.Errorf("70000 should overflow to +inf, got %#04x", got)
+	}
+	if got := F32ToF16(-70000); got != 0xfc00 {
+		t.Errorf("-70000 should overflow to -inf, got %#04x", got)
+	}
+}
+
+func TestFP16NaN(t *testing.T) {
+	h := F32ToF16(float32(math.NaN()))
+	if h&0x7c00 != 0x7c00 || h&0x3ff == 0 {
+		t.Errorf("NaN not preserved: %#04x", h)
+	}
+	if !math.IsNaN(float64(F16ToF32(h))) {
+		t.Error("round-tripped NaN is not NaN")
+	}
+}
+
+// Property: quantization is idempotent — a value already representable in
+// half precision round-trips exactly.
+func TestFP16Idempotent(t *testing.T) {
+	f := func(x float32) bool {
+		if math.IsNaN(float64(x)) {
+			return true
+		}
+		once := QuantizeFP16(x)
+		twice := QuantizeFP16(once)
+		return once == twice || (math.IsNaN(float64(once)) && math.IsNaN(float64(twice)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for normal-range values, relative quantization error is bounded
+// by 2^-11 (half precision has 10 mantissa bits + implicit bit, RNE).
+func TestFP16RelativeErrorBound(t *testing.T) {
+	f := func(x float32) bool {
+		ax := math.Abs(float64(x))
+		if math.IsNaN(float64(x)) || ax < 6.2e-5 || ax > 65000 {
+			return true // skip subnormal/overflow ranges
+		}
+		q := QuantizeFP16(x)
+		rel := math.Abs(float64(q)-float64(x)) / ax
+		return rel <= 1.0/2048.0+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantization is monotone non-decreasing.
+func TestFP16Monotone(t *testing.T) {
+	g := NewRNG(7)
+	prevIn := float32(math.Inf(-1))
+	_ = prevIn
+	for i := 0; i < 2000; i++ {
+		a := float32(g.NormFloat64() * 100)
+		b := float32(g.NormFloat64() * 100)
+		if a > b {
+			a, b = b, a
+		}
+		qa, qb := QuantizeFP16(a), QuantizeFP16(b)
+		if qa > qb {
+			t.Fatalf("monotonicity violated: q(%v)=%v > q(%v)=%v", a, qa, b, qb)
+		}
+	}
+}
+
+func TestToFP16InPlace(t *testing.T) {
+	x := FromSlice([]float32{1.0002441, 3}, 2)
+	y := x.CloneFP16()
+	if x.Data()[0] != 1.0002441 {
+		t.Error("CloneFP16 mutated the original")
+	}
+	if y.Data()[0] == 1.0002441 {
+		t.Error("CloneFP16 did not quantize (value has 24-bit mantissa precision)")
+	}
+	x.ToFP16()
+	if x.Data()[0] != y.Data()[0] {
+		t.Error("ToFP16 and CloneFP16 disagree")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical streams")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	g := NewRNG(1)
+	c1 := g.Split(1)
+	g2 := NewRNG(1)
+	c2 := g2.Split(1)
+	for i := 0; i < 50; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatal("Split with same label/seed must be deterministic")
+		}
+	}
+	g3 := NewRNG(1)
+	d1, d2 := g3.Split(1), g3.Split(2)
+	if d1.Float64() == d2.Float64() {
+		t.Log("note: different labels produced same first value (possible but unlikely)")
+	}
+}
+
+func TestFillHelpers(t *testing.T) {
+	g := NewRNG(5)
+	x := New(1000)
+	g.FillUniform(x, -1, 1)
+	for _, v := range x.Data() {
+		if v < -1 || v >= 1 {
+			t.Fatalf("uniform value %v out of range", v)
+		}
+	}
+	y := New(10000)
+	g.FillNormal(y, 0, 1)
+	var mean float64
+	for _, v := range y.Data() {
+		mean += float64(v)
+	}
+	mean /= float64(y.Elems())
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("normal fill mean = %v, want ~0", mean)
+	}
+	z := New(64, 32)
+	g.FillXavier(z, 32, 64)
+	if z.L2Norm() == 0 {
+		t.Error("Xavier fill left tensor zero")
+	}
+	w := New(64, 32)
+	g.FillHe(w, 32)
+	if w.L2Norm() == 0 {
+		t.Error("He fill left tensor zero")
+	}
+}

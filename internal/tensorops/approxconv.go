@@ -1,0 +1,83 @@
+package tensorops
+
+import "repro/internal/tensor"
+
+// PerfDirection selects whether perforated convolution skips output rows
+// or output columns.
+type PerfDirection int
+
+const (
+	PerfNone PerfDirection = iota
+	PerfRows
+	PerfCols
+)
+
+func (d PerfDirection) String() string {
+	switch d {
+	case PerfRows:
+		return "row"
+	case PerfCols:
+		return "col"
+	default:
+		return "none"
+	}
+}
+
+// Conv2DFilterSampling computes a convolution with the filter-sampling
+// approximation (after Li et al.): 1 out of every `stride` filter elements
+// is skipped, the same positions across all feature maps, starting at
+// `offset`. Valid strides are 2, 3, 4 (50%, 33%, 25% skip rates) with
+// offsets 0..stride-1, giving the paper's 9 knobs. The surviving elements
+// are rescaled by stride/(stride-1) so the expected output magnitude is
+// preserved, mirroring the rescaling used for reduction sampling.
+func Conv2DFilterSampling(x, w *tensor.Tensor, p ConvParams, stride, offset int, prec Precision) *tensor.Tensor {
+	if stride < 2 || stride > 4 {
+		panicShape("FilterSampling", "stride %d not in {2,3,4}", stride)
+	}
+	if offset < 0 || offset >= stride {
+		panicShape("FilterSampling", "offset %d not in [0,%d)", offset, stride)
+	}
+	sw := SampleFilter(w, stride, offset)
+	return convolve(x, sw, p, prec, nil, PerfNone)
+}
+
+// SampleFilter returns a copy of w with every stride-th element (per output
+// filter, flattened over Ci×Kh×Kw, starting at offset) zeroed and the rest
+// rescaled by stride/(stride-1). Zeroed weights are skipped by the GEMM
+// inner loop, so the functional kernel genuinely performs fewer multiplies.
+func SampleFilter(w *tensor.Tensor, stride, offset int) *tensor.Tensor {
+	out := w.Clone()
+	co := w.Dim(0)
+	fvol := w.Elems() / co
+	scale := float32(stride) / float32(stride-1)
+	od := out.Data()
+	for f := 0; f < co; f++ {
+		base := f * fvol
+		for i := 0; i < fvol; i++ {
+			if i%stride == offset {
+				od[base+i] = 0
+			} else {
+				od[base+i] *= scale
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DPerforated computes a convolution with the perforation
+// approximation (after Figurnov et al.): 1 out of every `stride` output
+// rows (or columns) is not computed and is instead filled with the
+// nearest-neighbor average of computed elements. Valid strides are 2, 3, 4
+// with offsets 0..stride-1 and two directions, giving the paper's 18 knobs.
+func Conv2DPerforated(x, w *tensor.Tensor, p ConvParams, dir PerfDirection, stride, offset int, prec Precision) *tensor.Tensor {
+	if dir != PerfRows && dir != PerfCols {
+		panicShape("Perforated", "direction must be rows or cols")
+	}
+	if stride < 2 || stride > 4 {
+		panicShape("Perforated", "stride %d not in {2,3,4}", stride)
+	}
+	if offset < 0 || offset >= stride {
+		panicShape("Perforated", "offset %d not in [0,%d)", offset, stride)
+	}
+	return convolve(x, w, p, prec, &perfSpec{dir: dir, stride: stride, offset: offset}, dir)
+}

@@ -1,0 +1,103 @@
+package tensorops
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Kernel micro-benchmarks: the hot paths the simulated-device work rides
+// on (exact conv, the approximate variants, GEMM, FP16 quantization).
+
+func benchInput(c, h, w int) (*tensor.Tensor, *tensor.Tensor) {
+	g := tensor.NewRNG(1)
+	x := tensor.New(4, c, h, w)
+	g.FillNormal(x, 0, 1)
+	wt := tensor.New(2*c, c, 3, 3)
+	g.FillHe(wt, c*9)
+	return x, wt
+}
+
+func BenchmarkConv2DExact(b *testing.B) {
+	x, w := benchInput(8, 32, 32)
+	p := ConvParams{PadH: 1, PadW: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2D(x, w, p, FP32)
+	}
+}
+
+func BenchmarkConv2DFP16(b *testing.B) {
+	x, w := benchInput(8, 32, 32)
+	p := ConvParams{PadH: 1, PadW: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2D(x, w, p, FP16)
+	}
+}
+
+func BenchmarkConv2DFilterSampling50(b *testing.B) {
+	x, w := benchInput(8, 32, 32)
+	p := ConvParams{PadH: 1, PadW: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2DFilterSampling(x, w, p, 2, 0, FP32)
+	}
+}
+
+func BenchmarkConv2DPerforated50(b *testing.B) {
+	x, w := benchInput(8, 32, 32)
+	p := ConvParams{PadH: 1, PadW: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2DPerforated(x, w, p, PerfRows, 2, 0, FP32)
+	}
+}
+
+func BenchmarkGemm(b *testing.B) {
+	g := tensor.NewRNG(2)
+	m, k, n := 64, 256, 256
+	a := make([]float32, m*k)
+	bb := make([]float32, k*n)
+	c := make([]float32, m*n)
+	for i := range a {
+		a[i] = float32(g.NormFloat64())
+	}
+	for i := range bb {
+		bb[i] = float32(g.NormFloat64())
+	}
+	b.SetBytes(int64(4 * (m*k + k*n + m*n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range c {
+			c[j] = 0
+		}
+		Gemm(a, bb, c, m, k, n)
+	}
+}
+
+func BenchmarkFP16RoundTrip(b *testing.B) {
+	g := tensor.NewRNG(3)
+	x := tensor.New(1 << 16)
+	g.FillNormal(x, 0, 1)
+	b.SetBytes(int64(4 * x.Elems()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.ToFP16()
+	}
+}
+
+func BenchmarkSoftmax(b *testing.B) {
+	g := tensor.NewRNG(4)
+	x := tensor.New(256, 100)
+	g.FillNormal(x, 0, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Softmax(x, FP32)
+	}
+}

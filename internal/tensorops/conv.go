@@ -1,0 +1,218 @@
+package tensorops
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// ConvParams carries the geometry of a 2-D convolution.
+type ConvParams struct {
+	StrideH, StrideW int
+	PadH, PadW       int
+	// Groups > 1 gives grouped convolution; Groups == input channels with
+	// one filter per channel is the depthwise convolution MobileNet uses.
+	Groups int
+}
+
+// Norm returns params with zero-value fields defaulted (stride 1, groups 1).
+func (p ConvParams) Norm() ConvParams {
+	if p.StrideH == 0 {
+		p.StrideH = 1
+	}
+	if p.StrideW == 0 {
+		p.StrideW = 1
+	}
+	if p.Groups == 0 {
+		p.Groups = 1
+	}
+	return p
+}
+
+// Conv2D computes an exact 2-D convolution. x is (N,Ci,H,W), w is
+// (Co,Ci/G,Kh,Kw); the result is (N,Co,Ho,Wo). With FP16 precision the
+// operands and result pass through half-precision quantization.
+func Conv2D(x, w *tensor.Tensor, p ConvParams, prec Precision) *tensor.Tensor {
+	return convolve(x, w, p, prec, nil, PerfNone)
+}
+
+// perfSpec describes output-perforation for the perforated-convolution
+// approximation: which output rows or columns are skipped.
+type perfSpec struct {
+	dir    PerfDirection
+	stride int // skip 1 of every `stride`
+	offset int
+}
+
+// convolve is the shared engine: exact convolution over the output elements
+// selected by perf (all of them when perf is nil), using an optionally
+// pre-sampled weight tensor.
+func convolve(x, w *tensor.Tensor, p ConvParams, prec Precision, perf *perfSpec, _ PerfDirection) *tensor.Tensor {
+	p = p.Norm()
+	if x.Rank() != 4 || w.Rank() != 4 {
+		panicShape("Conv2D", "need 4-D input and weight, got %v and %v", x.Shape(), w.Shape())
+	}
+	n, ci, h, wd := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	co, cig, kh, kw := w.Dim(0), w.Dim(1), w.Dim(2), w.Dim(3)
+	g := p.Groups
+	if ci%g != 0 || co%g != 0 || cig != ci/g {
+		panicShape("Conv2D", "groups=%d incompatible with Ci=%d Co=%d weight Ci/G=%d", g, ci, co, cig)
+	}
+	ho := tensor.ConvOutDim(h, kh, p.StrideH, p.PadH)
+	wo := tensor.ConvOutDim(wd, kw, p.StrideW, p.PadW)
+
+	xd, wdat := x.Data(), w.Data()
+	if prec == FP16 {
+		xd = quantizedCopy(xd)
+		wdat = quantizedCopy(wdat)
+	}
+
+	out := tensor.New(n, co, ho, wo)
+	od := out.Data()
+
+	cog := co / g // output channels per group
+	kvol := cig * kh * kw
+
+	// im2col per (image, group): cols is (kvol × ho*wo), weights for the
+	// group form a (cog × kvol) matrix; their product is the output block.
+	parallel.For(n, func(img int) {
+		cols := make([]float32, kvol*ho*wo)
+		for grp := 0; grp < g; grp++ {
+			im2col(xd, cols, img, grp, ci, cig, h, wd, kh, kw, ho, wo, p)
+			wblock := wdat[grp*cog*kvol : (grp+1)*cog*kvol]
+			oblock := od[(img*co+grp*cog)*ho*wo : (img*co+(grp+1)*cog)*ho*wo]
+			Gemm(wblock, cols, oblock, cog, kvol, ho*wo)
+		}
+	})
+
+	if perf != nil {
+		interpolatePerforated(out, perf)
+	}
+	if prec == FP16 {
+		out.ToFP16()
+	}
+	return out
+}
+
+// im2col unrolls the input patches of one (image, group) into cols, a
+// (cig*kh*kw) × (ho*wo) column matrix. Out-of-bounds (padding) elements
+// are zero.
+func im2col(xd, cols []float32, img, grp, ci, cig, h, w, kh, kw, ho, wo int, p ConvParams) {
+	ow := ho * wo
+	for c := 0; c < cig; c++ {
+		inC := grp*cig + c
+		chanBase := (img*ci + inC) * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				rowBase := ((c*kh+ky)*kw + kx) * ow
+				for oy := 0; oy < ho; oy++ {
+					iy := oy*p.StrideH - p.PadH + ky
+					dst := cols[rowBase+oy*wo : rowBase+(oy+1)*wo]
+					if iy < 0 || iy >= h {
+						for i := range dst {
+							dst[i] = 0
+						}
+						continue
+					}
+					srcRow := xd[chanBase+iy*w : chanBase+(iy+1)*w]
+					for ox := 0; ox < wo; ox++ {
+						ix := ox*p.StrideW - p.PadW + kx
+						if ix < 0 || ix >= w {
+							dst[ox] = 0
+						} else {
+							dst[ox] = srcRow[ix]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// interpolatePerforated overwrites the perforated output rows/columns with
+// the nearest-neighbor average of the computed (kept) elements, exactly the
+// semantics of Figurnov et al.'s perforated convolutions: a real
+// implementation never computes the skipped positions; computing then
+// replacing them yields the identical result tensor.
+func interpolatePerforated(out *tensor.Tensor, perf *perfSpec) {
+	n, co, ho, wo := out.Dim(0), out.Dim(1), out.Dim(2), out.Dim(3)
+	od := out.Data()
+	skip := func(i int) bool { return i%perf.stride == perf.offset%perf.stride }
+
+	parallel.For(n*co, func(nc int) {
+		base := nc * ho * wo
+		if perf.dir == PerfRows {
+			for y := 0; y < ho; y++ {
+				if !skip(y) {
+					continue
+				}
+				// nearest computed rows above and below
+				up, down := -1, -1
+				for u := y - 1; u >= 0; u-- {
+					if !skip(u) {
+						up = u
+						break
+					}
+				}
+				for d := y + 1; d < ho; d++ {
+					if !skip(d) {
+						down = d
+						break
+					}
+				}
+				row := od[base+y*wo : base+(y+1)*wo]
+				switch {
+				case up >= 0 && down >= 0:
+					a := od[base+up*wo : base+(up+1)*wo]
+					b := od[base+down*wo : base+(down+1)*wo]
+					for i := range row {
+						row[i] = 0.5 * (a[i] + b[i])
+					}
+				case up >= 0:
+					copy(row, od[base+up*wo:base+(up+1)*wo])
+				case down >= 0:
+					copy(row, od[base+down*wo:base+(down+1)*wo])
+				default:
+					for i := range row {
+						row[i] = 0
+					}
+				}
+			}
+		} else {
+			for x := 0; x < wo; x++ {
+				if !skip(x) {
+					continue
+				}
+				left, right := -1, -1
+				for l := x - 1; l >= 0; l-- {
+					if !skip(l) {
+						left = l
+						break
+					}
+				}
+				for r := x + 1; r < wo; r++ {
+					if !skip(r) {
+						right = r
+						break
+					}
+				}
+				for y := 0; y < ho; y++ {
+					idx := base + y*wo + x
+					switch {
+					case left >= 0 && right >= 0:
+						od[idx] = 0.5 * (od[base+y*wo+left] + od[base+y*wo+right])
+					case left >= 0:
+						od[idx] = od[base+y*wo+left]
+					case right >= 0:
+						od[idx] = od[base+y*wo+right]
+					default:
+						od[idx] = 0
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,321 @@
+package tensorops
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// naiveConv is an independent reference implementation used to validate the
+// im2col+GEMM engine.
+func naiveConv(x, w *tensor.Tensor, p ConvParams) *tensor.Tensor {
+	p = p.Norm()
+	n, h, wd := x.Dim(0), x.Dim(2), x.Dim(3)
+	co, cig, kh, kw := w.Dim(0), w.Dim(1), w.Dim(2), w.Dim(3)
+	g := p.Groups
+	cog := co / g
+	ho := tensor.ConvOutDim(h, kh, p.StrideH, p.PadH)
+	wo := tensor.ConvOutDim(wd, kw, p.StrideW, p.PadW)
+	out := tensor.New(n, co, ho, wo)
+	for img := 0; img < n; img++ {
+		for oc := 0; oc < co; oc++ {
+			grp := oc / cog
+			for oy := 0; oy < ho; oy++ {
+				for ox := 0; ox < wo; ox++ {
+					var acc float64
+					for c := 0; c < cig; c++ {
+						ic := grp*cig + c
+						for ky := 0; ky < kh; ky++ {
+							iy := oy*p.StrideH - p.PadH + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < kw; kx++ {
+								ix := ox*p.StrideW - p.PadW + kx
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								acc += float64(x.At(img, ic, iy, ix)) * float64(w.At(oc, c, ky, kx))
+							}
+						}
+					}
+					out.Set(float32(acc), img, oc, oy, ox)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func randTensor(g *tensor.RNG, dims ...int) *tensor.Tensor {
+	t := tensor.New(dims...)
+	g.FillNormal(t, 0, 1)
+	return t
+}
+
+func TestConv2DMatchesNaive(t *testing.T) {
+	g := tensor.NewRNG(1)
+	cases := []struct {
+		xdims, wdims []int
+		p            ConvParams
+	}{
+		{[]int{1, 1, 5, 5}, []int{1, 1, 3, 3}, ConvParams{PadH: 1, PadW: 1}},
+		{[]int{2, 3, 8, 8}, []int{4, 3, 3, 3}, ConvParams{PadH: 1, PadW: 1}},
+		{[]int{1, 2, 9, 9}, []int{3, 2, 3, 3}, ConvParams{StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}},
+		{[]int{1, 3, 7, 7}, []int{5, 3, 1, 1}, ConvParams{}},
+		{[]int{1, 4, 6, 6}, []int{4, 1, 3, 3}, ConvParams{PadH: 1, PadW: 1, Groups: 4}}, // depthwise
+		{[]int{1, 4, 6, 6}, []int{6, 2, 3, 3}, ConvParams{PadH: 1, PadW: 1, Groups: 2}}, // grouped
+		{[]int{1, 1, 11, 7}, []int{2, 1, 5, 3}, ConvParams{StrideH: 2, StrideW: 1, PadH: 2, PadW: 1}},
+	}
+	for i, c := range cases {
+		x := randTensor(g, c.xdims...)
+		w := randTensor(g, c.wdims...)
+		got := Conv2D(x, w, c.p, FP32)
+		want := naiveConv(x, w, c.p)
+		if !got.Shape().Equal(want.Shape()) {
+			t.Fatalf("case %d: shape %v, want %v", i, got.Shape(), want.Shape())
+		}
+		if d := tensor.MaxAbsDiff(got, want); d > 1e-4 {
+			t.Errorf("case %d: max diff %g vs naive", i, d)
+		}
+	}
+}
+
+func TestConv2DShapeMismatchPanics(t *testing.T) {
+	g := tensor.NewRNG(2)
+	x := randTensor(g, 1, 3, 5, 5)
+	w := randTensor(g, 2, 4, 3, 3) // wrong Ci
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on channel mismatch")
+		}
+	}()
+	Conv2D(x, w, ConvParams{}, FP32)
+}
+
+func TestConv2DFP16IsQuantized(t *testing.T) {
+	g := tensor.NewRNG(3)
+	x := randTensor(g, 1, 2, 6, 6)
+	w := randTensor(g, 3, 2, 3, 3)
+	exact := Conv2D(x, w, ConvParams{PadH: 1, PadW: 1}, FP32)
+	half := Conv2D(x, w, ConvParams{PadH: 1, PadW: 1}, FP16)
+	// FP16 output must be exactly representable in half precision.
+	for i, v := range half.Data() {
+		if q := tensor.QuantizeFP16(v); q != v {
+			t.Fatalf("elem %d = %v not half-representable", i, v)
+		}
+	}
+	// It should be close to, but generally not identical to, FP32.
+	if d := tensor.MaxAbsDiff(exact, half); d == 0 {
+		t.Log("note: FP16 conv happened to be exact on this input")
+	} else if d > 0.1 {
+		t.Errorf("FP16 error too large: %g", d)
+	}
+}
+
+func TestFilterSamplingDropsAndRescales(t *testing.T) {
+	w := tensor.FromSlice([]float32{1, 1, 1, 1, 1, 1, 1, 1}, 2, 1, 2, 2)
+	s := SampleFilter(w, 2, 0) // drop even positions, scale odd by 2
+	want := []float32{0, 2, 0, 2, 0, 2, 0, 2}
+	for i, v := range s.Data() {
+		if v != want[i] {
+			t.Fatalf("SampleFilter elem %d = %v, want %v", i, v, want[i])
+		}
+	}
+	// original untouched
+	if w.Data()[0] != 1 {
+		t.Fatal("SampleFilter mutated input weights")
+	}
+}
+
+// Property: with constant filters and constant input, rescaled filter
+// sampling is exact (it preserves the weighted sum).
+func TestFilterSamplingExactOnConstants(t *testing.T) {
+	x := tensor.New(1, 1, 6, 6)
+	x.Fill(1)
+	w := tensor.New(1, 1, 3, 3)
+	w.Fill(0.5)
+	exact := Conv2D(x, w, ConvParams{}, FP32)
+	for stride := 2; stride <= 4; stride++ {
+		for off := 0; off < stride; off++ {
+			// Only offsets that drop exactly floor-or-ceil elements keep the
+			// constant-sum property when fvol % stride != 0; allow small slack.
+			got := Conv2DFilterSampling(x, w, ConvParams{}, stride, off, FP32)
+			rel := tensor.MaxAbsDiff(got, exact) / 4.5
+			if rel > 0.35 {
+				t.Errorf("stride %d off %d: rel err %g too large", stride, off, rel)
+			}
+		}
+	}
+}
+
+func TestFilterSamplingOffsetsDiffer(t *testing.T) {
+	g := tensor.NewRNG(4)
+	x := randTensor(g, 1, 3, 8, 8)
+	w := randTensor(g, 4, 3, 3, 3)
+	a := Conv2DFilterSampling(x, w, ConvParams{PadH: 1, PadW: 1}, 2, 0, FP32)
+	b := Conv2DFilterSampling(x, w, ConvParams{PadH: 1, PadW: 1}, 2, 1, FP32)
+	if tensor.Equal(a, b, 1e-9) {
+		t.Error("different sampling offsets should give different outputs")
+	}
+}
+
+func TestFilterSamplingInvalidKnobPanics(t *testing.T) {
+	g := tensor.NewRNG(5)
+	x := randTensor(g, 1, 1, 4, 4)
+	w := randTensor(g, 1, 1, 3, 3)
+	for _, bad := range []struct{ stride, off int }{{1, 0}, {5, 0}, {2, 2}, {3, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("stride=%d off=%d should panic", bad.stride, bad.off)
+				}
+			}()
+			Conv2DFilterSampling(x, w, ConvParams{}, bad.stride, bad.off, FP32)
+		}()
+	}
+}
+
+func TestPerforatedKeptRowsExact(t *testing.T) {
+	g := tensor.NewRNG(6)
+	x := randTensor(g, 1, 2, 8, 8)
+	w := randTensor(g, 3, 2, 3, 3)
+	p := ConvParams{PadH: 1, PadW: 1}
+	exact := Conv2D(x, w, p, FP32)
+	perf := Conv2DPerforated(x, w, p, PerfRows, 2, 0, FP32)
+	ho, wo := exact.Dim(2), exact.Dim(3)
+	for oc := 0; oc < 3; oc++ {
+		for y := 0; y < ho; y++ {
+			skipped := y%2 == 0
+			for xx := 0; xx < wo; xx++ {
+				e, pv := exact.At(0, oc, y, xx), perf.At(0, oc, y, xx)
+				if !skipped && math.Abs(float64(e-pv)) > 1e-5 {
+					t.Fatalf("kept row %d differs: %v vs %v", y, pv, e)
+				}
+			}
+			if skipped && y > 0 && y < ho-1 {
+				// interpolated = average of neighbors
+				for xx := 0; xx < wo; xx++ {
+					want := 0.5 * (exact.At(0, oc, y-1, xx) + exact.At(0, oc, y+1, xx))
+					if math.Abs(float64(perf.At(0, oc, y, xx)-want)) > 1e-5 {
+						t.Fatalf("row %d col %d: interpolation %v, want %v", y, xx, perf.At(0, oc, y, xx), want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPerforatedColsSymmetric(t *testing.T) {
+	g := tensor.NewRNG(7)
+	x := randTensor(g, 1, 1, 8, 8)
+	w := randTensor(g, 1, 1, 3, 3)
+	p := ConvParams{PadH: 1, PadW: 1}
+	exact := Conv2D(x, w, p, FP32)
+	perf := Conv2DPerforated(x, w, p, PerfCols, 3, 1, FP32)
+	wo := exact.Dim(3)
+	for y := 0; y < exact.Dim(2); y++ {
+		for xx := 0; xx < wo; xx++ {
+			if xx%3 != 1 { // kept column
+				if math.Abs(float64(exact.At(0, 0, y, xx)-perf.At(0, 0, y, xx))) > 1e-5 {
+					t.Fatalf("kept col %d differs", xx)
+				}
+			}
+		}
+	}
+}
+
+// Property: perforation preserves output shape for all legal knobs.
+func TestPerforationShapePreserved(t *testing.T) {
+	g := tensor.NewRNG(8)
+	x := randTensor(g, 1, 2, 9, 9)
+	w := randTensor(g, 2, 2, 3, 3)
+	p := ConvParams{PadH: 1, PadW: 1}
+	want := Conv2D(x, w, p, FP32).Shape()
+	for _, dir := range []PerfDirection{PerfRows, PerfCols} {
+		for stride := 2; stride <= 4; stride++ {
+			for off := 0; off < stride; off++ {
+				got := Conv2DPerforated(x, w, p, dir, stride, off, FP32)
+				if !got.Shape().Equal(want) {
+					t.Fatalf("dir=%v stride=%d off=%d: shape %v, want %v", dir, stride, off, got.Shape(), want)
+				}
+			}
+		}
+	}
+}
+
+// Property: more aggressive perforation (larger fraction skipped) never
+// reduces error relative to exact output — on random inputs, on average.
+func TestPerforationErrorGrowsWithRate(t *testing.T) {
+	g := tensor.NewRNG(9)
+	var err2, err4 float64
+	for trial := 0; trial < 5; trial++ {
+		x := randTensor(g, 1, 2, 12, 12)
+		w := randTensor(g, 2, 2, 3, 3)
+		p := ConvParams{PadH: 1, PadW: 1}
+		exact := Conv2D(x, w, p, FP32)
+		perf50 := Conv2DPerforated(x, w, p, PerfRows, 2, 0, FP32) // skip 1/2
+		perf25 := Conv2DPerforated(x, w, p, PerfRows, 4, 0, FP32) // skip 1/4
+		err2 += tensor.MSE(perf50, exact)
+		err4 += tensor.MSE(perf25, exact)
+	}
+	if err4 >= err2 {
+		t.Errorf("25%% perforation error (%g) should be below 50%% perforation error (%g)", err4, err2)
+	}
+}
+
+func TestGemmAgainstQuick(t *testing.T) {
+	// Property: Gemm distributes over addition of A.
+	f := func(seed int64) bool {
+		g := tensor.NewRNG(seed)
+		m, k, n := 3, 4, 5
+		a1 := make([]float32, m*k)
+		a2 := make([]float32, m*k)
+		b := make([]float32, k*n)
+		for i := range a1 {
+			a1[i] = float32(g.NormFloat64())
+			a2[i] = float32(g.NormFloat64())
+		}
+		for i := range b {
+			b[i] = float32(g.NormFloat64())
+		}
+		c1 := make([]float32, m*n)
+		c2 := make([]float32, m*n)
+		cs := make([]float32, m*n)
+		Gemm(a1, b, c1, m, k, n)
+		Gemm(a2, b, c2, m, k, n)
+		asum := make([]float32, m*k)
+		for i := range asum {
+			asum[i] = a1[i] + a2[i]
+		}
+		Gemm(asum, b, cs, m, k, n)
+		for i := range cs {
+			if math.Abs(float64(cs[i]-(c1[i]+c2[i]))) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	w := tensor.FromSlice([]float32{1, 0, 0, 1}, 2, 2)
+	y := MatMul(x, w, FP32)
+	if !tensor.Equal(y, x, 1e-9) {
+		t.Fatalf("identity MatMul: got %v", y.Data())
+	}
+	w2 := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	y2 := MatMul(x, w2, FP32)
+	want := []float32{1*1 + 2*4, 1*2 + 2*5, 1*3 + 2*6, 3*1 + 4*4, 3*2 + 4*5, 3*3 + 4*6}
+	for i, v := range y2.Data() {
+		if v != want[i] {
+			t.Fatalf("MatMul elem %d = %v, want %v", i, v, want[i])
+		}
+	}
+}

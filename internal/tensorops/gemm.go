@@ -1,0 +1,91 @@
+// Package tensorops implements the predefined tensor operations of the
+// ApproxHPVM-style IR — convolution, matrix multiplication, activations,
+// pooling, normalization, softmax and reductions — in exact form and in
+// every approximate variant the paper tunes: filter sampling (9 knobs),
+// perforated convolution (18 knobs), reduction sampling (3 knobs), and
+// IEEE FP16 variants of all of them.
+//
+// Functional note: in the paper the approximations save time by skipping
+// work on real hardware. Here the kernels compute the *semantics* of each
+// approximation exactly (skipped outputs really are interpolated, skipped
+// filter elements really are dropped with rescaling), while the time and
+// energy impact is modeled analytically by internal/device using the same
+// compute/memory reduction factors as §3.4 of the paper.
+package tensorops
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// Precision selects the storage precision of a kernel. FP16 quantizes
+// inputs, weights and outputs through IEEE half precision (accumulation
+// stays in float32, matching tensor-core style hardware).
+type Precision int
+
+const (
+	FP32 Precision = iota
+	FP16
+)
+
+func (p Precision) String() string {
+	if p == FP16 {
+		return "fp16"
+	}
+	return "fp32"
+}
+
+// Gemm computes C = A·B for row-major A (m×k), B (k×n), C (m×n).
+// C must be zeroed by the caller if pure assignment is wanted; Gemm
+// accumulates into C.
+func Gemm(a, b, c []float32, m, k, n int) {
+	parallel.ForChunked(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			crow := c[i*n : (i+1)*n]
+			for l, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b[l*n : (l+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMul multiplies x (n×k) by the transpose-free weight w (k×m), returning
+// an (n×m) tensor. It is the fully-connected / dense operator. With FP16
+// precision the operands and result are quantized through half precision.
+func MatMul(x, w *tensor.Tensor, prec Precision) *tensor.Tensor {
+	n, k := x.Dim(0), x.Elems()/x.Dim(0)
+	if w.Rank() != 2 || w.Dim(0) != k {
+		panicShape("MatMul", "weight shape %v incompatible with input inner dim %d", w.Shape(), k)
+	}
+	m := w.Dim(1)
+	xd, wd := x.Data(), w.Data()
+	if prec == FP16 {
+		xd = quantizedCopy(xd)
+		wd = quantizedCopy(wd)
+	}
+	out := tensor.New(n, m)
+	Gemm(xd, wd, out.Data(), n, k, m)
+	if prec == FP16 {
+		out.ToFP16()
+	}
+	return out
+}
+
+func quantizedCopy(d []float32) []float32 {
+	q := make([]float32, len(d))
+	for i, v := range d {
+		q[i] = tensor.QuantizeFP16(v)
+	}
+	return q
+}
+
+func panicShape(op, format string, args ...any) {
+	panic("tensorops: " + op + ": " + sprintf(format, args...))
+}

@@ -1,0 +1,90 @@
+package tensorops
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestQuantizeInt8Grid(t *testing.T) {
+	x := tensor.FromSlice([]float32{-1.27, 0, 0.635, 1.27}, 4)
+	q := QuantizeInt8(x)
+	want := []float32{-1.27, 0, 0.64, 1.27} // scale = 0.01
+	for i, v := range q.Data() {
+		if math.Abs(float64(v-want[i])) > 1e-6 {
+			t.Errorf("elem %d = %v, want %v", i, v, want[i])
+		}
+	}
+	if x.Data()[2] != 0.635 {
+		t.Error("QuantizeInt8 mutated its input")
+	}
+}
+
+func TestQuantizeInt8Bounds(t *testing.T) {
+	g := tensor.NewRNG(1)
+	x := tensor.New(1000)
+	g.FillNormal(x, 0, 2)
+	q := QuantizeInt8(x)
+	var maxAbs float64
+	for _, v := range x.Data() {
+		if a := math.Abs(float64(v)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	step := maxAbs / 127
+	for i := range q.Data() {
+		if d := math.Abs(float64(q.Data()[i] - x.Data()[i])); d > step/2+1e-9 {
+			t.Fatalf("elem %d quantization error %v exceeds half-step %v", i, d, step/2)
+		}
+	}
+}
+
+func TestQuantizeInt8Zero(t *testing.T) {
+	z := tensor.New(8)
+	q := QuantizeInt8(z)
+	for _, v := range q.Data() {
+		if v != 0 {
+			t.Fatal("zero tensor must quantize to zero")
+		}
+	}
+}
+
+func TestConv2DInt8CloseToExact(t *testing.T) {
+	g := tensor.NewRNG(2)
+	x := tensor.New(1, 3, 8, 8)
+	g.FillNormal(x, 0, 1)
+	w := tensor.New(4, 3, 3, 3)
+	g.FillHe(w, 27)
+	p := ConvParams{PadH: 1, PadW: 1}
+	exact := Conv2D(x, w, p, FP32)
+	int8out := Conv2DInt8(x, w, p)
+	if !int8out.Shape().Equal(exact.Shape()) {
+		t.Fatal("shape changed")
+	}
+	rel := math.Sqrt(tensor.MSE(int8out, exact)) / (exact.L2Norm() / math.Sqrt(float64(exact.Elems())))
+	if rel > 0.05 {
+		t.Errorf("int8 conv relative error %v too large", rel)
+	}
+	if rel == 0 {
+		t.Error("int8 conv suspiciously exact")
+	}
+	// INT8 should be coarser than FP16.
+	fp16out := Conv2D(x, w, p, FP16)
+	if tensor.MSE(int8out, exact) <= tensor.MSE(fp16out, exact) {
+		t.Error("int8 error should exceed fp16 error")
+	}
+}
+
+func TestMatMulInt8(t *testing.T) {
+	g := tensor.NewRNG(3)
+	x := tensor.New(4, 16)
+	g.FillNormal(x, 0, 1)
+	w := tensor.New(16, 8)
+	g.FillXavier(w, 16, 8)
+	exact := MatMul(x, w, FP32)
+	q := MatMulInt8(x, w)
+	if math.Sqrt(tensor.MSE(q, exact)) > 0.1 {
+		t.Errorf("int8 matmul error too large: %v", tensor.MSE(q, exact))
+	}
+}

@@ -1,0 +1,372 @@
+package tensorops
+
+import (
+	"math"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// ReLU applies max(0,x) elementwise.
+func ReLU(x *tensor.Tensor, prec Precision) *tensor.Tensor {
+	out := x.Clone()
+	d := out.Data()
+	for i, v := range d {
+		if v < 0 {
+			d[i] = 0
+		}
+	}
+	if prec == FP16 {
+		out.ToFP16()
+	}
+	return out
+}
+
+// ClippedReLU applies min(max(0,x),clip) elementwise (ReLU6 with clip=6,
+// used by MobileNet).
+func ClippedReLU(x *tensor.Tensor, clip float32, prec Precision) *tensor.Tensor {
+	out := x.Clone()
+	d := out.Data()
+	for i, v := range d {
+		if v < 0 {
+			d[i] = 0
+		} else if v > clip {
+			d[i] = clip
+		}
+	}
+	if prec == FP16 {
+		out.ToFP16()
+	}
+	return out
+}
+
+// Tanh applies tanh elementwise.
+func Tanh(x *tensor.Tensor, prec Precision) *tensor.Tensor {
+	out := x.Clone()
+	d := out.Data()
+	for i, v := range d {
+		d[i] = float32(math.Tanh(float64(v)))
+	}
+	if prec == FP16 {
+		out.ToFP16()
+	}
+	return out
+}
+
+// BiasAdd adds a per-channel bias b (length C) to a (N,C,H,W) or (N,C)
+// tensor.
+func BiasAdd(x, b *tensor.Tensor, prec Precision) *tensor.Tensor {
+	out := x.Clone()
+	c := b.Elems()
+	var spatial int
+	switch x.Rank() {
+	case 4:
+		if x.Dim(1) != c {
+			panicShape("BiasAdd", "bias length %d != channels %d", c, x.Dim(1))
+		}
+		spatial = x.Dim(2) * x.Dim(3)
+	case 2:
+		if x.Dim(1) != c {
+			panicShape("BiasAdd", "bias length %d != features %d", c, x.Dim(1))
+		}
+		spatial = 1
+	default:
+		panicShape("BiasAdd", "unsupported rank %d", x.Rank())
+	}
+	n := x.Dim(0)
+	od, bd := out.Data(), b.Data()
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			base := (img*c + ch) * spatial
+			bv := bd[ch]
+			seg := od[base : base+spatial]
+			for i := range seg {
+				seg[i] += bv
+			}
+		}
+	}
+	if prec == FP16 {
+		out.ToFP16()
+	}
+	return out
+}
+
+// Add returns the elementwise sum of two equal-shaped tensors (residual
+// connections).
+func Add(a, b *tensor.Tensor, prec Precision) *tensor.Tensor {
+	out := a.Clone()
+	out.Add(b)
+	if prec == FP16 {
+		out.ToFP16()
+	}
+	return out
+}
+
+// PoolParams carries pooling geometry.
+type PoolParams struct {
+	KH, KW           int
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// Norm defaults strides to the kernel size when zero.
+func (p PoolParams) Norm() PoolParams {
+	if p.StrideH == 0 {
+		p.StrideH = p.KH
+	}
+	if p.StrideW == 0 {
+		p.StrideW = p.KW
+	}
+	return p
+}
+
+// MaxPool computes max pooling over (N,C,H,W).
+func MaxPool(x *tensor.Tensor, p PoolParams, prec Precision) *tensor.Tensor {
+	return pool(x, p, prec, false, 1)
+}
+
+// AvgPool computes average pooling over (N,C,H,W).
+func AvgPool(x *tensor.Tensor, p PoolParams, prec Precision) *tensor.Tensor {
+	return pool(x, p, prec, true, 1)
+}
+
+// MaxPoolSampled and AvgPoolSampled apply the reduction-sampling
+// approximation (after Zhu et al.): the reduction uses only a subset of its
+// inputs. ratioNum/ratioDen gives the kept fraction — the paper's three
+// knobs are 1/2 (50%), 2/5 (40%) and 1/4 (25%). Averages are computed over
+// the sampled subset (the "appropriate constant" rescaling); max is taken
+// over the subset.
+func MaxPoolSampled(x *tensor.Tensor, p PoolParams, ratioNum, ratioDen int, prec Precision) *tensor.Tensor {
+	return poolSampled(x, p, prec, false, ratioNum, ratioDen)
+}
+
+// AvgPoolSampled — see MaxPoolSampled.
+func AvgPoolSampled(x *tensor.Tensor, p PoolParams, ratioNum, ratioDen int, prec Precision) *tensor.Tensor {
+	return poolSampled(x, p, prec, true, ratioNum, ratioDen)
+}
+
+func pool(x *tensor.Tensor, p PoolParams, prec Precision, avg bool, _ int) *tensor.Tensor {
+	return poolSampled(x, p, prec, avg, 1, 1)
+}
+
+func poolSampled(x *tensor.Tensor, p PoolParams, prec Precision, avg bool, num, den int) *tensor.Tensor {
+	p = p.Norm()
+	if x.Rank() != 4 {
+		panicShape("Pool", "need 4-D input, got %v", x.Shape())
+	}
+	if num <= 0 || den <= 0 || num > den {
+		panicShape("Pool", "bad sampling ratio %d/%d", num, den)
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	ho := tensor.ConvOutDim(h, p.KH, p.StrideH, p.PadH)
+	wo := tensor.ConvOutDim(w, p.KW, p.StrideW, p.PadW)
+	xd := x.Data()
+	if prec == FP16 {
+		xd = quantizedCopy(xd)
+	}
+	out := tensor.New(n, c, ho, wo)
+	od := out.Data()
+	keep := func(i int) bool { return (i*num)%den < num }
+	parallel.For(n*c, func(nc int) {
+		inBase := nc * h * w
+		outBase := nc * ho * wo
+		for oy := 0; oy < ho; oy++ {
+			for ox := 0; ox < wo; ox++ {
+				var acc float64
+				count := 0
+				best := float32(math.Inf(-1))
+				idx := 0
+				for ky := 0; ky < p.KH; ky++ {
+					iy := oy*p.StrideH - p.PadH + ky
+					for kx := 0; kx < p.KW; kx++ {
+						ix := ox*p.StrideW - p.PadW + kx
+						k := idx
+						idx++
+						if iy < 0 || iy >= h || ix < 0 || ix >= w {
+							continue
+						}
+						if !keep(k) {
+							continue
+						}
+						v := xd[inBase+iy*w+ix]
+						if avg {
+							acc += float64(v)
+							count++
+						} else if v > best {
+							best = v
+						}
+					}
+				}
+				var r float32
+				if avg {
+					if count > 0 {
+						r = float32(acc / float64(count))
+					}
+				} else {
+					if math.IsInf(float64(best), -1) {
+						best = 0 // window entirely skipped or padded
+					}
+					r = best
+				}
+				od[outBase+oy*wo+ox] = r
+			}
+		}
+	})
+	if prec == FP16 {
+		out.ToFP16()
+	}
+	return out
+}
+
+// BatchNormParams holds per-channel inference-time normalization state.
+type BatchNormParams struct {
+	Gamma, Beta, Mean, Var *tensor.Tensor
+	Eps                    float32
+}
+
+// BatchNorm applies inference-mode batch normalization per channel of a
+// (N,C,H,W) tensor.
+func BatchNorm(x *tensor.Tensor, bp BatchNormParams, prec Precision) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panicShape("BatchNorm", "need 4-D input, got %v", x.Shape())
+	}
+	c := x.Dim(1)
+	if bp.Gamma.Elems() != c || bp.Beta.Elems() != c || bp.Mean.Elems() != c || bp.Var.Elems() != c {
+		panicShape("BatchNorm", "parameter length mismatch for %d channels", c)
+	}
+	eps := bp.Eps
+	if eps == 0 {
+		eps = 1e-5
+	}
+	n := x.Dim(0)
+	spatial := x.Dim(2) * x.Dim(3)
+	out := x.Clone()
+	od := out.Data()
+	g, b, m, v := bp.Gamma.Data(), bp.Beta.Data(), bp.Mean.Data(), bp.Var.Data()
+	scale := make([]float32, c)
+	shift := make([]float32, c)
+	for ch := 0; ch < c; ch++ {
+		s := g[ch] / float32(math.Sqrt(float64(v[ch]+eps)))
+		scale[ch] = s
+		shift[ch] = b[ch] - s*m[ch]
+	}
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			base := (img*c + ch) * spatial
+			s, sh := scale[ch], shift[ch]
+			seg := od[base : base+spatial]
+			for i := range seg {
+				seg[i] = seg[i]*s + sh
+			}
+		}
+	}
+	if prec == FP16 {
+		out.ToFP16()
+	}
+	return out
+}
+
+// Softmax applies a numerically-stable softmax over the last dimension of
+// an (N,K) tensor. The paper stores the softmax output as the program's
+// "raw tensor output" for profile collection.
+func Softmax(x *tensor.Tensor, prec Precision) *tensor.Tensor {
+	if x.Rank() != 2 {
+		panicShape("Softmax", "need 2-D logits, got %v", x.Shape())
+	}
+	n, k := x.Dim(0), x.Dim(1)
+	out := x.Clone()
+	od := out.Data()
+	for r := 0; r < n; r++ {
+		row := od[r*k : (r+1)*k]
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(float64(v - maxv))
+			row[i] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for i := range row {
+			row[i] *= inv
+		}
+	}
+	if prec == FP16 {
+		out.ToFP16()
+	}
+	return out
+}
+
+// ReduceKind selects the reduction operator for Reduce.
+type ReduceKind int
+
+const (
+	ReduceSum ReduceKind = iota
+	ReduceMean
+	ReduceMax
+)
+
+// Reduce collapses the trailing spatial dimensions of a (N,C,H,W) tensor to
+// (N,C) using the given operator. A sampling ratio num/den < 1 applies the
+// reduction-sampling approximation; sums are rescaled by den/num and means
+// are computed over the sampled subset.
+func Reduce(x *tensor.Tensor, kind ReduceKind, num, den int, prec Precision) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panicShape("Reduce", "need 4-D input, got %v", x.Shape())
+	}
+	if num <= 0 || den <= 0 || num > den {
+		panicShape("Reduce", "bad sampling ratio %d/%d", num, den)
+	}
+	n, c := x.Dim(0), x.Dim(1)
+	spatial := x.Dim(2) * x.Dim(3)
+	xd := x.Data()
+	if prec == FP16 {
+		xd = quantizedCopy(xd)
+	}
+	out := tensor.New(n, c)
+	od := out.Data()
+	keep := func(i int) bool { return (i*num)%den < num }
+	parallel.For(n*c, func(nc int) {
+		seg := xd[nc*spatial : (nc+1)*spatial]
+		var acc float64
+		count := 0
+		best := float32(math.Inf(-1))
+		for i, v := range seg {
+			if !keep(i) {
+				continue
+			}
+			count++
+			acc += float64(v)
+			if v > best {
+				best = v
+			}
+		}
+		switch kind {
+		case ReduceSum:
+			// Rescale the sampled sum back to full-population scale.
+			od[nc] = float32(acc * float64(spatial) / float64(max(count, 1)))
+		case ReduceMean:
+			if count > 0 {
+				od[nc] = float32(acc / float64(count))
+			}
+		case ReduceMax:
+			if count > 0 {
+				od[nc] = best
+			}
+		}
+	})
+	if prec == FP16 {
+		out.ToFP16()
+	}
+	return out
+}
+
+// Flatten reshapes (N,...) to (N,K).
+func Flatten(x *tensor.Tensor) *tensor.Tensor {
+	n := x.Dim(0)
+	return x.Reshape(n, x.Elems()/n)
+}
