@@ -1,0 +1,31 @@
+# Tier-1 verification gate: everything `make ci` runs must stay green.
+# CI = formatting check + vet + build + race-enabled tests.
+
+GO ?= go
+
+.PHONY: ci fmt-check vet build test race bench
+
+ci: fmt-check vet build race
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The bench package replays whole tuning experiments; under the race
+# detector it needs more than the default 10m per-package timeout.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

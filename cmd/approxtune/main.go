@@ -5,6 +5,10 @@
 // Usage:
 //
 //	approxtune -benchmark resnet18 -max-qos-loss 2 -model pi1 -o curve.json
+//
+// Observability: -trace out.jsonl exports a JSONL span trace of the run,
+// -metrics-addr :8090 serves live /metrics and /debug/pprof, and -v / -q
+// adjust progress verbosity.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 
 	approxtuner "repro"
 	"repro/internal/models"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,7 +34,13 @@ func main() {
 		out       = flag.String("o", "", "write the shipped curve JSON to this file (default stdout)")
 		seed      = flag.Int64("seed", 1, "seed")
 	)
+	oc := obs.RegisterFlags(nil)
 	flag.Parse()
+	if err := oc.Activate(os.Stderr); err != nil {
+		log.Fatalf("approxtune: %v", err)
+	}
+	defer oc.Close()
+	logger := oc.Log
 
 	b := models.MustBuild(*benchmark, models.Scale{Images: *images, Width: *width, Seed: *seed})
 	calib, test := b.Dataset.Split()
@@ -37,7 +48,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("approxtune: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "benchmark %s: %d layers, baseline accuracy %.2f%%\n",
+	logger.Infof("benchmark %s: %d layers, baseline accuracy %.2f%%\n",
 		*benchmark, b.Model.Graph.LayerCount(), app.BaselineQoS)
 
 	spec := approxtuner.TuneSpec{
@@ -61,9 +72,12 @@ func main() {
 		log.Fatalf("approxtune: %v", err)
 	}
 	st := res.Stats
-	fmt.Fprintf(os.Stderr, "tuning done: %d iterations, %d candidates, %d validated, α=%.3f, total %v\n",
+	logger.Infof("tuning done: %d iterations, %d candidates, %d validated, α=%.3f, total %v\n",
 		st.Iterations, st.Candidates, st.Validated, st.Alpha, st.Total.Round(1e6))
-	fmt.Fprintf(os.Stderr, "curve: %d points; best config at threshold: %s\n",
+	logger.Verbosef("phase times: profile %v, calibrate %v, search %v, validate %v\n",
+		st.ProfileTime.Round(1e6), st.CalibrateTime.Round(1e6),
+		st.SearchTime.Round(1e6), st.ValidateTime.Round(1e6))
+	logger.Infof("curve: %d points; best config at threshold: %s\n",
 		res.Curve.Len(), bestDescription(app, res))
 
 	data, err := approxtuner.SaveCurve(res.Curve)
@@ -77,7 +91,7 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		log.Fatalf("approxtune: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "curve written to %s\n", *out)
+	logger.Infof("curve written to %s\n", *out)
 }
 
 func bestDescription(app *approxtuner.App, res *approxtuner.Result) string {

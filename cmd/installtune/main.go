@@ -7,6 +7,10 @@
 // Usage:
 //
 //	installtune -benchmark alexnet2 -device gpu -objective energy -edges 8
+//
+// Observability: -trace out.jsonl exports a JSONL span trace of the run,
+// -metrics-addr :8090 serves live /metrics and /debug/pprof, and -v / -q
+// adjust progress verbosity.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 
 	approxtuner "repro"
 	"repro/internal/models"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -33,7 +38,13 @@ func main() {
 		out       = flag.String("o", "", "write the final curve JSON to this file (default stdout)")
 		seed      = flag.Int64("seed", 1, "seed")
 	)
+	oc := obs.RegisterFlags(nil)
 	flag.Parse()
+	if err := oc.Activate(os.Stderr); err != nil {
+		log.Fatalf("installtune: %v", err)
+	}
+	defer oc.Close()
+	logger := oc.Log
 
 	b := models.MustBuild(*benchmark, models.Scale{Images: *images, Width: *width, Seed: *seed})
 	calib, test := b.Dataset.Split()
@@ -59,29 +70,33 @@ func main() {
 		DisableFP16: !dev.SupportsKnob(1), // FP32-only curve for the CPU
 	}
 
-	fmt.Fprintln(os.Stderr, "development-time tuning (hardware-independent knobs)...")
+	logger.Infof("development-time tuning (hardware-independent knobs)...\n")
 	devRes, err := app.TuneDevelopmentTime(spec)
 	if err != nil {
 		log.Fatalf("installtune: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "shipped curve: %d points\n", devRes.Curve.Len())
+	logger.Infof("shipped curve: %d points\n", devRes.Curve.Len())
+	logger.Verbosef("development-time search: %d iterations, %d candidates, α=%.3f\n",
+		devRes.Stats.Iterations, devRes.Stats.Candidates, devRes.Stats.Alpha)
 
 	obj := approxtuner.MinimizeTime
 	if strings.ToLower(*objective) == "energy" {
 		obj = approxtuner.MinimizeEnergy
 	}
-	fmt.Fprintf(os.Stderr, "install-time tuning on %s (%s objective, %d edge devices)...\n",
+	logger.Infof("install-time tuning on %s (%s objective, %d edge devices)...\n",
 		dev.Name, obj, *edges)
 	inst, err := app.TuneInstallTime(devRes, dev, spec, obj, *edges)
 	if err != nil {
 		log.Fatalf("installtune: %v", err)
 	}
-	fmt.Fprintf(os.Stderr,
+	logger.Infof(
 		"final curve: %d points; edge profile phase %v, server tuning %v\n",
 		inst.Curve.Len(),
 		inst.Stats.EdgeProfileTime.Round(1e6), inst.Stats.ServerTuneTime.Round(1e6))
+	logger.Verbosef("validation: %d configs per edge, %d survived, total %v\n",
+		inst.Stats.ValidatePerEdge, inst.Stats.Validated, inst.Stats.Total.Round(1e6))
 	if pt, ok := inst.Curve.Best(app.BaselineQoS - *loss); ok {
-		fmt.Fprintf(os.Stderr, "best: %s → %.2fx (%s)\n",
+		logger.Infof("best: %s → %.2fx (%s)\n",
 			approxtuner.DescribeConfig(pt.Config), pt.Perf, obj)
 	}
 
@@ -96,5 +111,5 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		log.Fatalf("installtune: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "curve written to %s\n", *out)
+	logger.Infof("curve written to %s\n", *out)
 }

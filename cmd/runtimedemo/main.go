@@ -6,16 +6,21 @@
 // Usage:
 //
 //	runtimedemo -benchmark resnet18 -policy average
+//
+// Observability: -trace out.jsonl exports a JSONL span trace of the run
+// and -metrics-addr :8090 serves live /metrics and /debug/pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/models"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -25,7 +30,12 @@ func main() {
 		width     = flag.Float64("width", 0.25, "channel-width multiplier")
 		seed      = flag.Int64("seed", 1, "seed")
 	)
+	oc := obs.RegisterFlags(nil)
 	flag.Parse()
+	if err := oc.Activate(os.Stderr); err != nil {
+		log.Fatalf("runtimedemo: %v", err)
+	}
+	defer oc.Close()
 
 	s := bench.NewSession(bench.Config{
 		Benchmarks: []string{*benchmark},

@@ -1,21 +1,36 @@
 // Quickstart: build a small CNN with the dataflow-graph IR, wrap it in an
-// App, run development-time predictive tuning with a 4-percentage-point
-// accuracy budget, and inspect the shipped tradeoff curve.
+// App, run all three tuning phases — development-time predictive tuning
+// with a 4-percentage-point accuracy budget, install-time refinement on
+// the TX2 GPU model, and a short runtime-adaptation episode — and inspect
+// the shipped tradeoff curve.
+//
+// Observability: -trace out.jsonl exports a JSONL span trace covering the
+// three phases, -metrics-addr :8090 serves live /metrics and
+// /debug/pprof, and -v prints extra diagnostics.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	approxtuner "repro"
 	"repro/internal/datasets"
 	"repro/internal/graph"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 	"repro/internal/tensorops"
 )
 
 func main() {
+	oc := obs.RegisterFlags(nil)
+	flag.Parse()
+	if err := oc.Activate(os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+	defer oc.Close()
 	// 1. Build a small CNN as an ApproxHPVM-style dataflow graph. Every
 	// convolution / dense / pooling node becomes a tunable operation.
 	rng := tensor.NewRNG(7)
@@ -77,4 +92,28 @@ func main() {
 	}
 	fmt.Printf("tuning took %v (%d search iterations, α=%.3f)\n",
 		res.Stats.Total.Round(1e6), res.Stats.Iterations, res.Stats.Alpha)
+
+	// 5. Install time: re-measure the shipped curve on the device model,
+	// dropping points whose real QoS misses the budget.
+	inst, err := app.RefineOnDevice(res.Curve, gpu, approxtuner.TuneSpec{MaxQoSLoss: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninstall-time refined curve: %d points\n", inst.Curve.Len())
+
+	// 6. Runtime: hold the exact configuration's batch time while the GPU
+	// drops down one DVFS step.
+	costs := app.Program().Costs()
+	target := gpu.Time(costs, nil)
+	rt, err := app.NewRuntime(inst.Curve, approxtuner.PolicyAverage, target, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpu.SetFrequencyMHz(852)
+	for i := 0; i < 6; i++ {
+		rt.RecordInvocation(gpu.Time(costs, rt.Current()))
+	}
+	fmt.Printf("runtime at 852 MHz: %d config switches, active %s\n",
+		rt.Switches(), approxtuner.DescribeConfig(rt.Current()))
+	rt.Close()
 }

@@ -43,6 +43,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rt.Close()
 
 	fmt.Printf("\n%-10s %-12s %-12s %-22s\n", "freq(MHz)", "batch-time", "vs target", "active config")
 	for _, f := range device.Freqs {

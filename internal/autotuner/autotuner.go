@@ -157,6 +157,7 @@ func (t *Tuner) Best() (approx.Config, float64) { return t.best, t.bestFit }
 // Next proposes the next configuration to evaluate.
 func (t *Tuner) Next() approx.Config {
 	t.lastTech = t.bandit.pick(t.rng)
+	mProposals.With(t.techniques[t.lastTech].name()).Inc()
 	cfg := t.techniques[t.lastTech].propose(t)
 	t.pending = cfg
 	return cfg
@@ -168,12 +169,16 @@ func (t *Tuner) Report(cfg approx.Config, fb Feedback) {
 	t.iter++
 	fit := t.fitness(fb)
 	improved := fit > t.bestFit
+	mIters.Inc()
 	if improved {
 		t.bestFit = fit
 		t.best = cfg.Clone()
 		t.sinceBest = 0
+		mAccepts.Inc()
+		gBestFit.Set(fit)
 	} else {
 		t.sinceBest++
+		mRejects.Inc()
 	}
 	t.bandit.report(t.lastTech, improved)
 	t.techniques[t.lastTech].feedback(t, cfg, fit, improved)

@@ -1,0 +1,14 @@
+package autotuner
+
+import "repro/internal/obs"
+
+// Search telemetry (the per-iteration counters behind Table 4 and §7.3):
+// iterations evaluated, accepts (new best fitness) vs rejects, and
+// proposals attributed to each ensemble technique.
+var (
+	mIters     = obs.NewCounter("autotuner.iterations")
+	mAccepts   = obs.NewCounter("autotuner.accepts")
+	mRejects   = obs.NewCounter("autotuner.rejects")
+	mProposals = obs.NewCounterVec("autotuner.proposals_by_technique")
+	gBestFit   = obs.NewGauge("autotuner.best_fitness")
+)

@@ -284,6 +284,7 @@ func RuntimePolicies(s *Session, name string) *Report {
 		if err != nil {
 			panic(err)
 		}
+		defer rt.Close()
 		gpu.SetFrequencyMHz(675) // the paper's worked mid-ladder point
 		const batches = 60
 		var sumTime, sumAcc float64

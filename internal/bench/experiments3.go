@@ -178,6 +178,7 @@ func RunFig6(s *Session, name string) []Fig6Row {
 	if err != nil {
 		panic(fmt.Sprintf("bench: %s fig6 runtime: %v", name, err))
 	}
+	defer rt.Close()
 
 	// Cache test accuracy per distinct configuration.
 	accCache := map[string]float64{}

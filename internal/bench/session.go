@@ -16,6 +16,7 @@ import (
 	"repro/internal/approx"
 	"repro/internal/core"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/predictor"
 	"repro/internal/qos"
 	"repro/internal/tensor"
@@ -183,9 +184,13 @@ func (s *Session) Profiles(name string) *predictor.Profiles {
 	e := s.Entry(name)
 	if e.profiles == nil {
 		pol := core.KnobPolicy{AllowFP16: true}
-		e.profiles = core.CollectProfiles(e.prog, nil, func(op int) []approx.KnobID {
+		sp := obs.Start("bench:profiles").With("benchmark", name)
+		watch := core.NewStopwatch()
+		e.profiles = core.CollectProfilesSpan(e.prog, nil, func(op int) []approx.KnobID {
 			return core.KnobsFor(e.prog, op, pol)
-		}, tensor.NewRNG(s.cfg.Seed+11))
+		}, tensor.NewRNG(s.cfg.Seed+11), sp)
+		e.profTime = watch.Total()
+		sp.End()
 	}
 	return e.profiles
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/approx"
 	"repro/internal/autotuner"
+	"repro/internal/obs"
 	"repro/internal/pareto"
 	"repro/internal/predictor"
 	"repro/internal/tensor"
@@ -94,21 +95,26 @@ func PredictiveTune(p Program, o Options) (*Result, error) {
 	if o.Model == predictor.Pi1 && !p.FixedOutputShape() {
 		return nil, fmt.Errorf("core: program %q has variable output shapes; Π1 requires fixed shapes (§8)", p.Name())
 	}
+	root := obs.Start("phase:devtime").
+		With("program", p.Name()).With("model", o.Model.String()).With("qos_min", o.QoSMin)
+	defer root.End()
 	watch := NewStopwatch()
-	total := NewStopwatch()
 	rng := tensor.NewRNG(o.Seed)
 	var st Stats
 
 	// Step 1: collect QoS profiles (lines 12–15).
 	profiles := o.Profiles
 	if profiles == nil {
-		profiles = CollectProfiles(p, nil, func(op int) []approx.KnobID {
+		psp := root.Child("profile")
+		profiles = CollectProfilesSpan(p, nil, func(op int) []approx.KnobID {
 			return KnobsFor(p, op, o.Policy)
-		}, rng.Split(1))
+		}, rng.Split(1), psp)
+		psp.End()
 	}
 	st.ProfileTime = watch.Lap()
 
 	// Step 2: initialize and calibrate the QoS predictor (lines 18–20).
+	csp := root.Child("calibrate").With("samples", o.NCalibrate)
 	scoreFn := func(out *tensor.Tensor) float64 { return p.Score(Calib, out) }
 	var qp *predictor.QoSPredictor
 	if o.Model == predictor.Pi1 {
@@ -125,10 +131,12 @@ func PredictiveTune(p Program, o Options) (*Result, error) {
 		samples = append(samples, predictor.Sample{Cfg: cfg, QoS: p.Score(Calib, out)})
 	}
 	st.Alpha = qp.Calibrate(samples)
+	csp.With("alpha", st.Alpha).End()
 	st.CalibrateTime = watch.Lap()
 
 	// Step 3: autotune with the QoS and performance prediction models
 	// (lines 23–30).
+	ssp := root.Child("search")
 	perfOf := perfModel(p, o)
 	tuner := autotuner.New(prob, autotuner.Options{
 		MaxIters:   o.MaxIters,
@@ -160,6 +168,7 @@ func PredictiveTune(p Program, o Options) (*Result, error) {
 	}
 	st.Iterations = tuner.Iterations()
 	st.Candidates = len(candidates)
+	ssp.With("iterations", st.Iterations).With("candidates", st.Candidates).End()
 	st.SearchTime = watch.Lap()
 
 	// Step 4: keep configurations within ε1 of the Pareto frontier
@@ -172,11 +181,12 @@ func PredictiveTune(p Program, o Options) (*Result, error) {
 	// trivially valid and guarantees the shipped curve is never empty even
 	// when an optimistic predictor Pareto-dominates it out of the
 	// shortlist and every other candidate fails validation.
+	vsp := root.Child("validate").With("shortlist", len(shortlist))
 	shortlist = ensureBaseline(shortlist, baseCfg, profiles.BaseQoS, nOps)
 	valRng := rng.Split(3)
 	var validated []pareto.Point
 	for i, pt := range shortlist {
-		out := p.Run(pt.Config, Calib, valRng.Split(int64(i)))
+		out := runTraced(p, pt.Config, Calib, valRng.Split(int64(i)), vsp)
 		realQoS := p.Score(Calib, out)
 		if realQoS > o.QoSMin {
 			validated = append(validated, pareto.Point{QoS: realQoS, Perf: pt.Perf, Config: pt.Config})
@@ -185,8 +195,9 @@ func PredictiveTune(p Program, o Options) (*Result, error) {
 	st.Validated = len(validated)
 	eps2 := pareto.EpsilonForLimit(validated, o.MaxConfigs)
 	final := pareto.Trim(pareto.RelaxedSet(validated, eps2), o.MaxConfigs)
+	vsp.With("validated", st.Validated).End()
 	st.ValidateTime = watch.Lap()
-	st.Total = total.Lap()
+	st.Total = watch.Total()
 
 	curve := pareto.NewRelaxedCurve(p.Name(), profiles.BaseQoS, final)
 	return &Result{Curve: curve, Stats: st, Profiles: profiles}, nil
@@ -200,8 +211,10 @@ func PredictiveTune(p Program, o Options) (*Result, error) {
 // time).
 func EmpiricalTune(p Program, o Options) (*Result, error) {
 	o = o.norm()
+	root := obs.Start("phase:devtime").
+		With("program", p.Name()).With("model", "empirical").With("qos_min", o.QoSMin)
+	defer root.End()
 	watch := NewStopwatch()
-	total := NewStopwatch()
 	rng := tensor.NewRNG(o.Seed)
 	var st Stats
 
@@ -209,6 +222,7 @@ func EmpiricalTune(p Program, o Options) (*Result, error) {
 	baseOut := baselineOutput(p, Calib)
 	baseQoS := p.Score(Calib, baseOut)
 
+	ssp := root.Child("search")
 	prob := problemFor(p, o.Policy)
 	tuner := autotuner.New(prob, autotuner.Options{
 		MaxIters:   o.MaxIters,
@@ -241,13 +255,14 @@ func EmpiricalTune(p Program, o Options) (*Result, error) {
 	}
 	st.Iterations = tuner.Iterations()
 	st.Candidates = len(candidates)
+	ssp.With("iterations", st.Iterations).With("candidates", st.Candidates).End()
 	st.SearchTime = watch.Lap()
 
 	eps2 := pareto.EpsilonForLimit(candidates, o.MaxConfigs)
 	final := pareto.Trim(pareto.RelaxedSet(candidates, eps2), o.MaxConfigs)
 	final = ensureBaseline(final, baseCfg, baseQoS, nOps)
 	st.Validated = len(final)
-	st.Total = total.Lap()
+	st.Total = watch.Total()
 
 	curve := pareto.NewRelaxedCurve(p.Name(), baseQoS, final)
 	return &Result{Curve: curve, Stats: st}, nil

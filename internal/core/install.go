@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/approx"
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/pareto"
 	"repro/internal/predictor"
 	"repro/internal/tensor"
@@ -104,15 +105,20 @@ func RefineCurve(p Program, devCurve *pareto.Curve, o InstallOptions) (*InstallR
 	if o.Device == nil {
 		return nil, fmt.Errorf("core: install-time tuning requires a device model")
 	}
+	root := obs.Start("phase:install").
+		With("program", p.Name()).With("mode", "refine").
+		With("device", o.Device.Name).With("objective", o.Objective.String())
+	defer root.End()
 	watch := NewStopwatch()
 	rng := tensor.NewRNG(o.Seed + 100)
 	var pts []pareto.Point
 	var st InstallStats
+	rsp := root.Child("refine").With("curve_points", len(devCurve.Points))
 	for i, pt := range devCurve.Points {
 		if !deviceSupports(o.Device, pt.Config) {
 			continue
 		}
-		out := p.Run(pt.Config, Calib, rng.Split(int64(i)))
+		out := runTraced(p, pt.Config, Calib, rng.Split(int64(i)), rsp)
 		realQoS := p.Score(Calib, out)
 		st.RawConfigs++
 		if realQoS <= o.QoSMin {
@@ -122,6 +128,7 @@ func RefineCurve(p Program, devCurve *pareto.Curve, o InstallOptions) (*InstallR
 		pts = append(pts, pareto.Point{QoS: realQoS, Perf: perf, Config: pt.Config})
 	}
 	st.Validated = len(pts)
+	rsp.With("validated", st.Validated).End()
 	st.Total = watch.Lap()
 	curve := pareto.NewCurve(p.Name(), devCurve.BaselineQoS, pts)
 	curve.BaselineTime = o.Device.Time(p.Costs(), nil)
@@ -160,8 +167,11 @@ func InstallTune(p Program, devProfiles *predictor.Profiles, o InstallOptions) (
 	if o.NEdge > 1 && !canShard {
 		return nil, fmt.Errorf("core: program %q cannot shard calibration inputs for %d edge devices", p.Name(), o.NEdge)
 	}
+	root := obs.Start("phase:install").
+		With("program", p.Name()).With("mode", "distributed").
+		With("device", o.Device.Name).With("objective", o.Objective.String()).With("edges", o.NEdge)
+	defer root.End()
 	watch := NewStopwatch()
-	total := NewStopwatch()
 	var st InstallStats
 
 	// Phase 1: distributed hardware-knob profile collection.
@@ -175,9 +185,10 @@ func InstallTune(p Program, devProfiles *predictor.Profiles, o InstallOptions) (
 		}
 		return hw
 	}
+	esp := root.Child("edge-profile")
 	var hwProfiles *predictor.Profiles
 	if o.NEdge <= 1 {
-		hwProfiles = CollectProfiles(p, nil, hwKnobs, tensor.NewRNG(o.Seed+200))
+		hwProfiles = CollectProfilesSpan(p, nil, hwKnobs, tensor.NewRNG(o.Seed+200), esp)
 	} else {
 		n := sharder.NumCalib()
 		shards := make([]*predictor.Profiles, o.NEdge)
@@ -189,22 +200,26 @@ func InstallTune(p Program, devProfiles *predictor.Profiles, o InstallOptions) (
 			wg.Add(1)
 			go func(e, lo, hi int) {
 				defer wg.Done()
+				ssp := esp.Child("edge-shard").With("edge", e).With("calib", hi-lo)
+				defer ssp.End()
 				sp, err := sharder.Shard(lo, hi)
 				if err != nil {
 					errs[e] = err
 					return
 				}
-				shards[e] = CollectProfiles(sp, nil, hwKnobs, tensor.NewRNG(o.Seed+200+int64(e)))
+				shards[e] = CollectProfilesSpan(sp, nil, hwKnobs, tensor.NewRNG(o.Seed+200+int64(e)), ssp)
 			}(e, lo, hi)
 		}
 		wg.Wait()
 		for _, err := range errs {
 			if err != nil {
+				esp.End()
 				return nil, err
 			}
 		}
 		hwProfiles = predictor.Merge(shards)
 	}
+	esp.End()
 	st.EdgeProfileTime = watch.Lap()
 
 	// Phase 2: the server merges software and hardware profiles and runs
@@ -215,7 +230,9 @@ func InstallTune(p Program, devProfiles *predictor.Profiles, o InstallOptions) (
 	// profiles and harvest its pre-validation shortlist by setting
 	// MaxConfigs as the scatter width.
 	combined := combineProfiles(devProfiles, hwProfiles)
-	shortlist, searchStats, err := predictiveSearch(p, combined, o)
+	tsp := root.Child("server-tune")
+	shortlist, searchStats, err := predictiveSearchSpan(p, combined, o, tsp)
+	tsp.With("shortlist", len(shortlist)).End()
 	if err != nil {
 		return nil, err
 	}
@@ -229,6 +246,7 @@ func InstallTune(p Program, devProfiles *predictor.Profiles, o InstallOptions) (
 	if nEdge < 1 {
 		nEdge = 1
 	}
+	vsp := root.Child("edge-validate").With("shortlist", len(shortlist))
 	edgeSets := make([][]pareto.Point, nEdge)
 	var wg sync.WaitGroup
 	errs := make([]error, nEdge)
@@ -236,6 +254,8 @@ func InstallTune(p Program, devProfiles *predictor.Profiles, o InstallOptions) (
 		wg.Add(1)
 		go func(e int) {
 			defer wg.Done()
+			edgeSpan := vsp.Child("edge").With("edge", e)
+			defer edgeSpan.End()
 			var local Program = p
 			if canShard && nEdge > 1 {
 				n := sharder.NumCalib()
@@ -252,7 +272,7 @@ func InstallTune(p Program, devProfiles *predictor.Profiles, o InstallOptions) (
 				if !deviceSupports(o.Device, pt.Config) {
 					continue
 				}
-				out := local.Run(pt.Config, Calib, rng.Split(int64(i)))
+				out := runTraced(local, pt.Config, Calib, rng.Split(int64(i)), edgeSpan)
 				realQoS := local.Score(Calib, out)
 				if realQoS <= o.QoSMin {
 					continue
@@ -264,6 +284,7 @@ func InstallTune(p Program, devProfiles *predictor.Profiles, o InstallOptions) (
 		}(e)
 	}
 	wg.Wait()
+	vsp.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -280,7 +301,7 @@ func InstallTune(p Program, devProfiles *predictor.Profiles, o InstallOptions) (
 	sort.Slice(union, func(i, j int) bool { return union[i].Perf < union[j].Perf })
 	st.Validated = len(union)
 	st.ValidateTime = watch.Lap()
-	st.Total = total.Lap()
+	st.Total = watch.Total()
 
 	curve := pareto.NewCurve(p.Name(), combined.BaseQoS, union)
 	curve.BaselineTime = o.Device.Time(p.Costs(), nil)
@@ -332,13 +353,14 @@ func combineProfiles(sw, hw *predictor.Profiles) *predictor.Profiles {
 // install-time protocol (§4), exposed for network transports
 // (internal/distrib).
 func SearchShortlist(p Program, profiles *predictor.Profiles, o InstallOptions) ([]pareto.Point, Stats, error) {
-	return predictiveSearch(p, profiles, o)
+	return predictiveSearchSpan(p, profiles, o, nil)
 }
 
-// predictiveSearch runs steps 2–4 of Algorithm 1 (calibration, search,
+// predictiveSearchSpan runs steps 2–4 of Algorithm 1 (calibration, search,
 // ε1 shortlist) against pre-merged profiles, returning the shortlist for
-// distributed validation.
-func predictiveSearch(p Program, profiles *predictor.Profiles, o InstallOptions) ([]pareto.Point, Stats, error) {
+// distributed validation. A live parent span gets calibrate/search
+// children.
+func predictiveSearchSpan(p Program, profiles *predictor.Profiles, o InstallOptions, parent *obs.Span) ([]pareto.Point, Stats, error) {
 	var st Stats
 	watch := NewStopwatch()
 	if o.Model == predictor.Pi1 && !profiles.SupportsPi1() {
@@ -353,14 +375,16 @@ func predictiveSearch(p Program, profiles *predictor.Profiles, o InstallOptions)
 	}
 	pol := KnobPolicy{IncludeHardware: true, AllowFP16: o.Policy.AllowFP16}
 	prob := problemFor(p, pol)
+	csp := parent.Child("calibrate")
 	calibRng := tensor.NewRNG(o.Seed + 400)
 	samples := make([]predictor.Sample, 0, o.NCalibrate)
 	for i := 0; i < o.NCalibrate; i++ {
 		cfg := randomConfig(prob, calibRng)
-		out := p.Run(cfg, Calib, calibRng.Split(int64(i)))
+		out := runTraced(p, cfg, Calib, calibRng.Split(int64(i)), csp)
 		samples = append(samples, predictor.Sample{Cfg: cfg, QoS: p.Score(Calib, out)})
 	}
 	st.Alpha = qp.Calibrate(samples)
+	csp.With("samples", len(samples)).With("alpha", st.Alpha).End()
 	st.CalibrateTime = watch.Lap()
 
 	// Objective-aware performance model: for energy tuning the prediction
@@ -374,6 +398,7 @@ func predictiveSearch(p Program, profiles *predictor.Profiles, o InstallOptions)
 		return pp.Predict(cfg)
 	}
 
+	ssp := parent.Child("search")
 	tuner := newSearchTuner(prob, o.Options)
 	seen := make(map[string]bool)
 	nOps := maxOp(p) + 1
@@ -397,6 +422,7 @@ func predictiveSearch(p Program, profiles *predictor.Profiles, o InstallOptions)
 	}
 	st.Iterations = tuner.Iterations()
 	st.Candidates = len(candidates)
+	ssp.With("iterations", st.Iterations).With("candidates", st.Candidates).End()
 	st.SearchTime = watch.Lap()
 
 	eps1 := pareto.EpsilonForLimit(candidates, o.MaxConfigs)

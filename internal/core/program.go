@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/approx"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/qos"
 	"repro/internal/tensor"
 	"repro/internal/tensorops"
@@ -60,6 +61,18 @@ type Program interface {
 // graph suffix below that op.
 type SuffixRunner interface {
 	RunSuffix(op int, knob approx.KnobID, set InputSet, rng *tensor.RNG) *tensor.Tensor
+}
+
+// TracedRunner is an optional Program capability: execute under a parent
+// observability span so the execution (and, budget permitting, its
+// per-node kernels) appears in the trace nested under the caller's phase.
+type TracedRunner interface {
+	RunTraced(cfg approx.Config, set InputSet, rng *tensor.RNG, parent *obs.Span) *tensor.Tensor
+}
+
+// TracedSuffixRunner is the traced variant of SuffixRunner.
+type TracedSuffixRunner interface {
+	RunSuffixTraced(op int, knob approx.KnobID, set InputSet, rng *tensor.RNG, parent *obs.Span) *tensor.Tensor
 }
 
 // GraphProgram adapts a dataflow graph plus calibration/test inputs and
@@ -127,6 +140,11 @@ func (p *GraphProgram) Run(cfg approx.Config, set InputSet, rng *tensor.RNG) *te
 	return p.Graph.Execute(p.input(set), cfg, graph.ExecOptions{RNG: rng})
 }
 
+// RunTraced implements TracedRunner.
+func (p *GraphProgram) RunTraced(cfg approx.Config, set InputSet, rng *tensor.RNG, parent *obs.Span) *tensor.Tensor {
+	return p.Graph.Execute(p.input(set), cfg, graph.ExecOptions{RNG: rng, Trace: parent})
+}
+
 // Score implements Program.
 func (p *GraphProgram) Score(set InputSet, out *tensor.Tensor) float64 {
 	if set == Test {
@@ -154,6 +172,13 @@ func (p *GraphProgram) RunSuffix(op int, knob approx.KnobID, set InputSet, rng *
 	base := p.baseVals(set)
 	cfg := approx.Config{op: knob}
 	return p.Graph.ExecuteFrom(base, op, cfg, graph.ExecOptions{RNG: rng})
+}
+
+// RunSuffixTraced implements TracedSuffixRunner.
+func (p *GraphProgram) RunSuffixTraced(op int, knob approx.KnobID, set InputSet, rng *tensor.RNG, parent *obs.Span) *tensor.Tensor {
+	base := p.baseVals(set)
+	cfg := approx.Config{op: knob}
+	return p.Graph.ExecuteFrom(base, op, cfg, graph.ExecOptions{RNG: rng, Trace: parent})
 }
 
 // BaselineOut returns the cached exact output tensor for a set.

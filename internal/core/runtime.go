@@ -4,8 +4,19 @@ import (
 	"fmt"
 
 	"repro/internal/approx"
+	"repro/internal/obs"
 	"repro/internal/pareto"
 	"repro/internal/tensor"
+)
+
+// Runtime-adaptation telemetry: invocation counts, configuration
+// switches, invocations that missed the performance target, and the
+// speedup the controller currently demands.
+var (
+	mRtInvocations = obs.NewCounter("runtime.invocations")
+	mRtSwitches    = obs.NewCounter("runtime.config_switches")
+	mRtMisses      = obs.NewCounter("runtime.target_misses")
+	gRtRequired    = obs.NewGauge("runtime.required_perf")
 )
 
 // Policy selects the run-time configuration-selection strategy (§5).
@@ -47,6 +58,8 @@ type RuntimeTuner struct {
 	// tuner currently believes is needed to hold the target.
 	requiredPerf float64
 	switches     int
+	invocations  int
+	span         *obs.Span
 }
 
 // NewRuntimeTuner builds a runtime controller. targetTime is the
@@ -67,9 +80,19 @@ func NewRuntimeTuner(curve *pareto.Curve, policy Policy, targetTime float64, win
 		window:       window,
 		rng:          tensor.NewRNG(seed),
 		requiredPerf: 1,
+		span: obs.Start("phase:runtime").
+			With("program", curve.Program).With("policy", policy.String()).
+			With("target_time", targetTime).With("window", window),
 	}
 	rt.current = rt.pick(1)
 	return rt, nil
+}
+
+// Close ends the tuner's phase:runtime trace span, attaching the final
+// invocation and switch counts. Safe to call multiple times and on
+// tuners created while tracing was disabled.
+func (rt *RuntimeTuner) Close() {
+	rt.span.With("invocations", rt.invocations).With("switches", rt.switches).End()
 }
 
 // Current returns the configuration to use for the next invocation. Under
@@ -89,6 +112,11 @@ func (rt *RuntimeTuner) Switches() int { return rt.switches }
 // (§5); it also relaxes back toward less-approximate configurations when
 // the system speeds up again.
 func (rt *RuntimeTuner) RecordInvocation(execTime float64) {
+	rt.invocations++
+	mRtInvocations.Inc()
+	if execTime > rt.targetTime {
+		mRtMisses.Inc()
+	}
 	rt.times = append(rt.times, execTime)
 	if len(rt.times) > rt.window {
 		rt.times = rt.times[len(rt.times)-rt.window:]
@@ -107,9 +135,11 @@ func (rt *RuntimeTuner) RecordInvocation(execTime float64) {
 	// therefore avg·Perf relative to the baseline target.
 	systemSlowdown := avg * rt.current.Perf / rt.targetTime
 	rt.requiredPerf = systemSlowdown
+	gRtRequired.Set(rt.requiredPerf)
 	next := rt.pick(rt.requiredPerf)
 	if next.Perf != rt.current.Perf || !sameConfig(next.Config, rt.current.Config) {
 		rt.switches++
+		mRtSwitches.Inc()
 		rt.current = next
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/approx"
+	"repro/internal/obs"
 	"repro/internal/promise"
 	"repro/internal/tensor"
 	"repro/internal/tensorops"
@@ -15,6 +16,9 @@ type ExecOptions struct {
 	// RNG supplies the reproducible noise stream for PROMISE knobs. It is
 	// required whenever the configuration maps any op to a PROMISE level.
 	RNG *tensor.RNG
+	// Trace, when non-nil, parents a per-execution span (and, while the
+	// tracer's graph-detail budget lasts, per-node child spans) under it.
+	Trace *obs.Span
 }
 
 // Execute runs the program on input under the given configuration and
@@ -22,6 +26,12 @@ type ExecOptions struct {
 // panics on a structurally invalid knob assignment (use ValidateConfig to
 // vet configurations from external sources first).
 func (g *Graph) Execute(input *tensor.Tensor, cfg approx.Config, opts ExecOptions) *tensor.Tensor {
+	sp, detail := g.traceExec(opts.Trace, "full")
+	if !detail {
+		opts.Trace = nil
+	} else {
+		opts.Trace = sp
+	}
 	vals := make([]*tensor.Tensor, len(g.Nodes))
 	for _, n := range g.Nodes {
 		switch n.Kind {
@@ -31,6 +41,7 @@ func (g *Graph) Execute(input *tensor.Tensor, cfg approx.Config, opts ExecOption
 			vals[n.ID] = g.execNode(n, vals, cfg.Knob(n.ID), opts)
 		}
 	}
+	sp.End()
 	return vals[g.Output]
 }
 
@@ -38,6 +49,12 @@ func (g *Graph) Execute(input *tensor.Tensor, cfg approx.Config, opts ExecOption
 // node ID). The per-node values let profile collection re-execute only the
 // suffix of the graph affected by approximating a single operator.
 func (g *Graph) ExecuteAll(input *tensor.Tensor, cfg approx.Config, opts ExecOptions) []*tensor.Tensor {
+	sp, detail := g.traceExec(opts.Trace, "all")
+	if !detail {
+		opts.Trace = nil
+	} else {
+		opts.Trace = sp
+	}
 	vals := make([]*tensor.Tensor, len(g.Nodes))
 	for _, n := range g.Nodes {
 		if n.Kind == OpInput {
@@ -46,6 +63,7 @@ func (g *Graph) ExecuteAll(input *tensor.Tensor, cfg approx.Config, opts ExecOpt
 		}
 		vals[n.ID] = g.execNode(n, vals, cfg.Knob(n.ID), opts)
 	}
+	sp.End()
 	return vals
 }
 
@@ -58,6 +76,12 @@ func (g *Graph) ExecuteFrom(base []*tensor.Tensor, from int, cfg approx.Config, 
 	if len(base) != len(g.Nodes) {
 		panic(fmt.Sprintf("graph: base has %d values for %d nodes", len(base), len(g.Nodes)))
 	}
+	sp, detail := g.traceExec(opts.Trace, "suffix")
+	if !detail {
+		opts.Trace = nil
+	} else {
+		opts.Trace = sp.With("from", from)
+	}
 	vals := make([]*tensor.Tensor, len(g.Nodes))
 	copy(vals, base)
 	for _, n := range g.Nodes {
@@ -66,11 +90,17 @@ func (g *Graph) ExecuteFrom(base []*tensor.Tensor, from int, cfg approx.Config, 
 		}
 		vals[n.ID] = g.execNode(n, vals, cfg.Knob(n.ID), opts)
 	}
+	sp.End()
 	return vals[g.Output]
 }
 
 func (g *Graph) execNode(n *Node, vals []*tensor.Tensor, kid approx.KnobID, opts ExecOptions) *tensor.Tensor {
 	knob := approx.MustLookup(kid)
+	observeNode(knob)
+	if opts.Trace != nil {
+		nsp := opts.Trace.Child("node:"+nodeLabel(n)).With("op", n.ID).With("knob", knob.Name())
+		defer nsp.End()
+	}
 	x := vals[n.Inputs[0]]
 	prec := knob.Prec
 

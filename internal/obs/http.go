@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the opt-in live observability endpoint: expvar-style metric
+// JSON at /metrics, a span-tree summary at /trace, and the standard
+// net/http/pprof profiling handlers at /debug/pprof/ for live profiling
+// of long tuning runs.
+type Server struct {
+	// Addr is the bound address (useful with ":0").
+	Addr string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// ServeMetrics binds addr (e.g. ":8090" or ":0") and serves the registry
+// and tracer in a background goroutine. reg nil means the Default
+// registry; tr nil serves the currently installed tracer at /trace.
+func ServeMetrics(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+	if reg == nil {
+		reg = Default
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "approxtuner observability endpoint\n\n/metrics      expvar-style metric JSON\n/trace        span tree of the active tracer\n/debug/pprof  live profiling\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		t := tr
+		if t == nil {
+			t = Active()
+		}
+		if t == nil {
+			http.Error(w, "no tracer installed", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, Summarize(t.Records()))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		Addr: ln.Addr().String(),
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

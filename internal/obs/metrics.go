@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics. Metric creation is get-or-create, so
+// package-level metric variables and late lookups agree on the same
+// instance. All operations are goroutine-safe.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{metrics: make(map[string]any)} }
+
+// Default is the process-wide registry the instrumented packages publish
+// into and the HTTP endpoint serves.
+var Default = NewRegistry()
+
+func lookup[T any](r *Registry, name string, make func() T) T {
+	r.mu.RLock()
+	m, ok := r.metrics[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		m, ok = r.metrics[name]
+		if !ok {
+			m = make()
+			r.metrics[name] = m
+		}
+		r.mu.Unlock()
+	}
+	t, ok := m.(T)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered with a different type (%T)", name, m))
+	}
+	return t
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	return lookup(r, name, func() *Counter { return &Counter{} })
+}
+
+// NewCounter returns the named counter in the Default registry.
+func NewCounter(name string) *Counter { return Default.Counter(name) }
+
+// Gauge is an atomically updated float64 value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	return lookup(r, name, func() *Gauge { return &Gauge{} })
+}
+
+// NewGauge returns the named gauge in the Default registry.
+func NewGauge(name string) *Gauge { return Default.Gauge(name) }
+
+// Histogram accumulates observations into fixed log-scale buckets: bucket
+// i covers values ≤ start·growthⁱ, with one overflow bucket above the
+// last bound. Observations are lock-free atomic adds.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, len n
+	buckets []atomic.Int64
+	over    atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum, CAS-updated
+}
+
+func newHistogram(start, growth float64, n int) *Histogram {
+	if start <= 0 || growth <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: bad histogram shape start=%v growth=%v n=%d", start, growth, n))
+	}
+	h := &Histogram{bounds: make([]float64, n), buckets: make([]atomic.Int64, n)}
+	b := start
+	for i := range h.bounds {
+		h.bounds[i] = b
+		b *= growth
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := -1
+	for i, ub := range h.bounds {
+		if v <= ub {
+			idx = i
+			break
+		}
+	}
+	if idx >= 0 {
+		h.buckets[idx].Add(1)
+	} else {
+		h.over.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bucket returns the count of bucket i (values ≤ Bounds()[i] and greater
+// than the previous bound).
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i].Load() }
+
+// Overflow returns the count of observations above the last bound.
+func (h *Histogram) Overflow() int64 { return h.over.Load() }
+
+// Bounds returns the bucket upper bounds.
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// HistogramSnapshot is the exported form of a histogram.
+type HistogramSnapshot struct {
+	Count    int64         `json:"count"`
+	Sum      float64       `json:"sum"`
+	Buckets  []BucketCount `json:"buckets,omitempty"`
+	Overflow int64         `json:"overflow,omitempty"`
+}
+
+// BucketCount is one (upper-bound, count) pair; zero-count buckets are
+// omitted from snapshots.
+type BucketCount struct {
+	LE float64 `json:"le"`
+	N  int64   `json:"n"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), Overflow: h.Overflow()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{LE: h.bounds[i], N: n})
+		}
+	}
+	return s
+}
+
+// Histogram returns (creating if needed) the named histogram. The shape
+// parameters apply only on first creation.
+func (r *Registry) Histogram(name string, start, growth float64, n int) *Histogram {
+	return lookup(r, name, func() *Histogram { return newHistogram(start, growth, n) })
+}
+
+// NewHistogram returns the named histogram in the Default registry.
+func NewHistogram(name string, start, growth float64, n int) *Histogram {
+	return Default.Histogram(name, start, growth, n)
+}
+
+// CounterVec is a family of counters keyed by a label value (e.g. kernel
+// invocations by knob kind). Label lookup takes a read lock; the counters
+// themselves are lock-free, so hot paths should cache the *Counter.
+type CounterVec struct {
+	mu sync.RWMutex
+	m  map[string]*Counter
+}
+
+// With returns (creating if needed) the counter for a label value.
+func (v *CounterVec) With(label string) *Counter {
+	v.mu.RLock()
+	c, ok := v.m[label]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok = v.m[label]; ok {
+		return c
+	}
+	c = &Counter{}
+	v.m[label] = c
+	return c
+}
+
+func (v *CounterVec) snapshot() map[string]int64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]int64, len(v.m))
+	for k, c := range v.m {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+// CounterVec returns (creating if needed) the named counter family.
+func (r *Registry) CounterVec(name string) *CounterVec {
+	return lookup(r, name, func() *CounterVec { return &CounterVec{m: make(map[string]*Counter)} })
+}
+
+// NewCounterVec returns the named counter family in the Default registry.
+func NewCounterVec(name string) *CounterVec { return Default.CounterVec(name) }
+
+// Snapshot returns the current value of every metric keyed by name:
+// int64 for counters, float64 for gauges, map[string]int64 for counter
+// families and HistogramSnapshot for histograms — the expvar-style JSON
+// the HTTP endpoint serves.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]any, len(r.metrics))
+	for name, m := range r.metrics {
+		switch m := m.(type) {
+		case *Counter:
+			out[name] = m.Value()
+		case *Gauge:
+			out[name] = m.Value()
+		case *Histogram:
+			out[name] = m.snapshot()
+		case *CounterVec:
+			out[name] = m.snapshot()
+		}
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// install swaps in a tracer for the test and restores the previous one.
+func install(t *testing.T, tr *Tracer) {
+	t.Helper()
+	prev := Install(tr)
+	t.Cleanup(func() { Install(prev) })
+}
+
+func TestSpanTreeRoundTripsThroughJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(TracerOptions{Writer: &buf})
+	install(t, tr)
+
+	root := Start("phase:devtime").With("benchmark", "lenet")
+	profile := root.Child("profile")
+	op := profile.Child("profile-op").With("op", 3)
+	op.End()
+	profile.End()
+	search := root.Child("search").With("iters", 400)
+	search.End()
+	root.End()
+
+	records, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("got %d records, want 4", len(records))
+	}
+	roots := BuildTree(records)
+	if len(roots) != 1 || roots[0].Name != "phase:devtime" {
+		t.Fatalf("bad roots: %+v", roots)
+	}
+	if got := roots[0].Attrs["benchmark"]; got != "lenet" {
+		t.Fatalf("root attr = %v", got)
+	}
+	kids := roots[0].Children
+	if len(kids) != 2 || kids[0].Name != "profile" || kids[1].Name != "search" {
+		t.Fatalf("children out of order: %+v", kids)
+	}
+	if len(kids[0].Children) != 1 || kids[0].Children[0].Name != "profile-op" {
+		t.Fatalf("nested child missing: %+v", kids[0].Children)
+	}
+	// JSON numbers decode as float64; attributes survive with their value.
+	if got := kids[0].Children[0].Attrs["op"].(float64); got != 3 {
+		t.Fatalf("op attr = %v", got)
+	}
+	for _, r := range records {
+		if r.Dur < 0 || r.End < r.Start {
+			t.Fatalf("negative duration: %+v", r)
+		}
+	}
+	if !strings.Contains(Summarize(records), "  profile") {
+		t.Fatalf("summary missing indented child:\n%s", Summarize(records))
+	}
+}
+
+func TestNoopPathAllocatesZero(t *testing.T) {
+	Install(nil)
+	c := NewCounter("test.noop_counter")
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := Start("root")
+		child := sp.Child("child")
+		child.End()
+		sp.End()
+		c.Inc()
+		_ = sp.Duration()
+		_ = sp.AcquireDetail()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestConcurrentSpansAndMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(TracerOptions{Writer: &buf, KeepInMemory: 100000})
+	install(t, tr)
+	reg := NewRegistry()
+	ctr := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h", 1, 2, 10)
+	vec := reg.CounterVec("v")
+
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				sp := Start("worker").With("w", w)
+				c := sp.Child("step")
+				ctr.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i % 100))
+				vec.With(fmt.Sprintf("w%d", w%2)).Inc()
+				c.End()
+				sp.End()
+				_ = reg.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := ctr.Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	records, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(records) != 2*workers*iters {
+		t.Fatalf("got %d spans, want %d", len(records), 2*workers*iters)
+	}
+	snap := reg.Snapshot()
+	if snap["c"].(int64) != workers*iters {
+		t.Fatalf("snapshot counter = %v", snap["c"])
+	}
+	byLabel := snap["v"].(map[string]int64)
+	if byLabel["w0"]+byLabel["w1"] != workers*iters {
+		t.Fatalf("vec snapshot = %v", byLabel)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram(1, 10, 4) // bounds 1, 10, 100, 1000
+	cases := []struct {
+		v    float64
+		want int // bucket index, -1 = overflow
+	}{
+		{0, 0}, {-5, 0}, {1, 0}, // ≤ first bound
+		{1.0001, 1}, {10, 1}, // boundary is inclusive
+		{10.5, 2}, {100, 2},
+		{1000, 3},
+		{1000.1, -1}, {1e9, -1},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	counts := map[int]int64{}
+	for i := 0; i < 4; i++ {
+		counts[i] = h.Bucket(i)
+	}
+	counts[-1] = h.Overflow()
+	want := map[int]int64{0: 3, 1: 2, 2: 2, 3: 1, -1: 2}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", k, counts[k], n, counts)
+		}
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(cases))
+	}
+	wantBounds := []float64{1, 10, 100, 1000}
+	for i, b := range h.Bounds() {
+		if b != wantBounds[i] {
+			t.Fatalf("bounds = %v, want %v", h.Bounds(), wantBounds)
+		}
+	}
+}
+
+func TestGraphDetailBudget(t *testing.T) {
+	tr := NewTracer(TracerOptions{GraphExecDetail: 2})
+	sp := tr.Start("root")
+	if !sp.AcquireDetail() || !sp.AcquireDetail() {
+		t.Fatal("first two acquisitions should succeed")
+	}
+	if sp.AcquireDetail() {
+		t.Fatal("budget should be exhausted")
+	}
+	sp.End()
+}
+
+func TestTracerRetentionBound(t *testing.T) {
+	tr := NewTracer(TracerOptions{KeepInMemory: 3})
+	for i := 0; i < 10; i++ {
+		tr.Start("s").End()
+	}
+	if got := len(tr.Records()); got != 3 {
+		t.Fatalf("retained %d, want 3", got)
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", tr.Dropped())
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, Normal)
+	l.Infof("info %d\n", 1)
+	l.Verbosef("verbose\n")
+	l.Errorf("err\n")
+	if got := buf.String(); got != "info 1\nerr\n" {
+		t.Fatalf("normal output = %q", got)
+	}
+	buf.Reset()
+	l.SetLevel(Quiet)
+	l.Infof("info\n")
+	l.Errorf("err\n")
+	if got := buf.String(); got != "err\n" {
+		t.Fatalf("quiet output = %q", got)
+	}
+	buf.Reset()
+	l.SetLevel(Verbose)
+	l.Verbosef("verbose\n")
+	if got := buf.String(); got != "verbose\n" {
+		t.Fatalf("verbose output = %q", got)
+	}
+}
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("kernels").Add(42)
+	tr := NewTracer(TracerOptions{})
+	tr.Start("phase:devtime").End()
+	srv, err := ServeMetrics("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatalf("ServeMetrics: %v", err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(get("/metrics")), &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if snap["kernels"].(float64) != 42 {
+		t.Fatalf("metrics = %v", snap)
+	}
+	if !strings.Contains(get("/trace"), "phase:devtime") {
+		t.Fatal("trace endpoint missing span")
+	}
+	if !strings.Contains(get("/debug/pprof/"), "profile") {
+		t.Fatal("pprof index not served")
+	}
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// TracerOptions configures a Tracer.
+type TracerOptions struct {
+	// Writer, when non-nil, receives one JSON line per completed span
+	// (the JSONL trace export). The tracer serializes writes.
+	Writer io.Writer
+	// KeepInMemory bounds the number of completed spans retained for
+	// Records/Summarize (default 4096; 0 takes the default, negative
+	// disables retention).
+	KeepInMemory int
+	// GraphExecDetail is how many graph executions record per-node child
+	// spans before the tracer degrades to one span per execution
+	// (default 16). Tuning runs execute the graph thousands of times;
+	// the budget keeps traces readable and bounded.
+	GraphExecDetail int
+}
+
+// Tracer records hierarchical spans. All methods are goroutine-safe.
+type Tracer struct {
+	mu      sync.Mutex
+	w       io.Writer
+	records []SpanRecord
+	keep    int
+
+	nextID       atomic.Int64
+	detailBudget atomic.Int64
+	started      atomic.Int64
+	dropped      atomic.Int64
+	epoch        int64
+	writeErr     error
+}
+
+// NewTracer builds a tracer. A zero TracerOptions gives an in-memory-only
+// tracer suitable for tests and CLI tree summaries.
+func NewTracer(o TracerOptions) *Tracer {
+	if o.KeepInMemory == 0 {
+		o.KeepInMemory = 4096
+	}
+	if o.GraphExecDetail == 0 {
+		o.GraphExecDetail = 16
+	}
+	t := &Tracer{w: o.Writer, keep: o.KeepInMemory, epoch: Now()}
+	t.detailBudget.Store(int64(o.GraphExecDetail))
+	return t
+}
+
+// Start opens a root span on this tracer.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.start(0, name)
+}
+
+func (t *Tracer) start(parent int64, name string) *Span {
+	t.started.Add(1)
+	return &Span{
+		tr:     t,
+		id:     t.nextID.Add(1),
+		parent: parent,
+		name:   name,
+		start:  Now() - t.epoch,
+	}
+}
+
+// AcquireDetail consumes one unit of the per-tracer graph-detail budget,
+// reporting whether fine-grained (per-node) children should be recorded.
+func (t *Tracer) AcquireDetail() bool {
+	if t == nil {
+		return false
+	}
+	return t.detailBudget.Add(-1) >= 0
+}
+
+// Records returns a copy of the retained completed spans, in completion
+// order.
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.records))
+	copy(out, t.records)
+	return out
+}
+
+// Dropped returns how many completed spans were discarded because the
+// in-memory retention limit was reached.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Err returns the first JSONL write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.writeErr
+}
+
+func (t *Tracer) finish(rec SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.keep > 0 {
+		if len(t.records) < t.keep {
+			t.records = append(t.records, rec)
+		} else {
+			t.dropped.Add(1)
+		}
+	}
+	if t.w != nil {
+		line, err := json.Marshal(rec)
+		if err == nil {
+			line = append(line, '\n')
+			_, err = t.w.Write(line)
+		}
+		if err != nil && t.writeErr == nil {
+			t.writeErr = err
+		}
+	}
+}
+
+// Span is one timed, attributed, nestable region of work. A nil *Span is
+// the valid no-op span; every method tolerates it.
+type Span struct {
+	tr     *Tracer
+	id     int64
+	parent int64
+	name   string
+	start  int64
+	attrs  map[string]any
+	mu     sync.Mutex
+	ended  bool
+	dur    int64
+}
+
+// Child opens a sub-span. On a nil span it returns nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.start(s.id, name)
+}
+
+// With attaches an attribute and returns the span for chaining. No-op on
+// nil spans.
+func (s *Span) With(key string, val any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 4)
+	}
+	s.attrs[key] = val
+	s.mu.Unlock()
+	return s
+}
+
+// AcquireDetail consumes one unit of the tracer's graph-detail budget
+// (false on nil spans, so callers can gate per-node children on it).
+func (s *Span) AcquireDetail() bool {
+	if s == nil {
+		return false
+	}
+	return s.tr.AcquireDetail()
+}
+
+// End closes the span, exporting it to the tracer's sinks. Ending twice
+// is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	end := Now() - s.tr.epoch
+	s.dur = end - s.start
+	var attrs map[string]any
+	if len(s.attrs) > 0 {
+		attrs = make(map[string]any, len(s.attrs))
+		for k, v := range s.attrs {
+			attrs[k] = v
+		}
+	}
+	s.mu.Unlock()
+	s.tr.finish(SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start,
+		End:    end,
+		Dur:    s.dur,
+		Attrs:  attrs,
+	})
+}
+
+// Duration returns the span's elapsed nanoseconds: the final duration
+// after End, or the live elapsed time before it. Zero on nil spans.
+func (s *Span) Duration() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return Now() - s.tr.epoch - s.start
+}
+
+// Name returns the span name ("" on nil spans).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SpanRecord is the exported form of a completed span. Start/End/Dur are
+// nanoseconds relative to the tracer's creation.
+type SpanRecord struct {
+	ID     int64          `json:"id"`
+	Parent int64          `json:"parent,omitempty"`
+	Name   string         `json:"name"`
+	Start  int64          `json:"start_ns"`
+	End    int64          `json:"end_ns"`
+	Dur    int64          `json:"dur_ns"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+func (r SpanRecord) String() string {
+	return fmt.Sprintf("%s (%.3fms)", r.Name, float64(r.Dur)/1e6)
+}

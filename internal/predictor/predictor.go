@@ -173,8 +173,10 @@ func NewQoSPredictor(m Model, p *Profiles, scoreFn func(*tensor.Tensor) float64)
 func (q *QoSPredictor) Predict(cfg approx.Config) float64 {
 	switch q.Model {
 	case Pi1:
+		mPi1Evals.Inc()
 		return q.predict1(cfg, q.Alpha)
 	case Pi2:
+		mPi2Evals.Inc()
 		return q.predict2(cfg, q.Alpha)
 	default:
 		panic(fmt.Sprintf("predictor: unknown model %d", q.Model))
@@ -262,6 +264,7 @@ func (q *QoSPredictor) Calibrate(samples []Sample) float64 {
 		}
 		q.Alpha = bestA
 	}
+	q.observeCalibration(samples)
 	return q.Alpha
 }
 

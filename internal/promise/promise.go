@@ -17,8 +17,27 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
+
+// Noise-injection telemetry: how often the functional simulator perturbs
+// an operator output, at which voltage level, over how many elements, and
+// the distribution of injected absolute σ values (log-scale buckets).
+var (
+	mPerturbs  = obs.NewCounter("promise.perturbations")
+	mElems     = obs.NewCounter("promise.elements_perturbed")
+	hSigma     = obs.NewHistogram("promise.sigma_abs", 1e-6, 10, 12)
+	byLevelVec = obs.NewCounterVec("promise.perturbations_by_level")
+	// levelCounters caches the per-level counters for the hot path.
+	levelCounters [Levels + 1]*obs.Counter
+)
+
+func init() {
+	for lvl := 1; lvl <= Levels; lvl++ {
+		levelCounters[lvl] = byLevelVec.With(fmt.Sprintf("P%d", lvl))
+	}
+}
 
 // Levels is the number of voltage levels (P1..P7).
 const Levels = 7
@@ -97,6 +116,10 @@ func Perturb(out *tensor.Tensor, level int, rng *tensor.RNG) {
 	for i := range d {
 		d[i] += float32(rng.NormFloat64() * sigma)
 	}
+	mPerturbs.Inc()
+	mElems.Add(int64(len(d)))
+	levelCounters[level].Inc()
+	hSigma.Observe(sigma)
 }
 
 // Banks and BankKB describe the accelerator's memory organization
