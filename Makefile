@@ -1,11 +1,12 @@
 # Tier-1 verification gate: everything `make ci` runs must stay green.
-# CI = formatting check + vet + build + race-enabled tests.
+# CI = formatting check + vet + project lint (source + IR) + build +
+# race-enabled tests.
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench
+.PHONY: ci fmt-check vet lint build test race bench
 
-ci: fmt-check vet build race
+ci: fmt-check vet lint build race
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -15,6 +16,13 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (cmd/approxlint): six go/ast+go/types
+# analyzers over the source tree, then the domain validators over the knob
+# registry and the model-zoo graphs.
+lint:
+	$(GO) run ./cmd/approxlint ./...
+	$(GO) run ./cmd/approxlint -ir
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,148 @@
+// Command approxlint runs the project's static-analysis suite: six
+// go/ast+go/types analyzers over the source tree (stdlib-only imports,
+// seeded-RNG determinism, obs-span hygiene, float equality, tensor-kernel
+// aliasing, shared-map lock discipline), plus — with -ir — the
+// domain-level validators over the system's data: the approximation-knob
+// registry against the modeled devices and the dataflow graphs of the
+// model zoo.
+//
+// Usage:
+//
+//	approxlint [-ir] [-list] [packages]
+//
+// Packages default to ./... resolved from the module root. The exit code
+// is 1 when any finding is reported, making the command a CI gate
+// (`make ci` runs both modes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/lint"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+func main() {
+	irMode := flag.Bool("ir", false, "validate the knob registry and model-zoo graphs instead of source code")
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	only := flag.String("only", "", "comma-free single analyzer name to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: approxlint [-ir] [-list] [-only analyzer] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.AllAnalyzers() {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+	if *irMode {
+		os.Exit(runIR())
+	}
+	os.Exit(runSource(flag.Args(), *only))
+}
+
+// runSource loads the requested packages and applies the analyzer suite.
+func runSource(patterns []string, only string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "approxlint:", err)
+		return 2
+	}
+	pkgs, err := lint.Load(wd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "approxlint:", err)
+		return 2
+	}
+	failed := 0
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "approxlint: %s: type error: %v\n", p.Path, terr)
+			failed = 2
+		}
+	}
+	runner := lint.NewRunner()
+	if only != "" {
+		a := lint.AnalyzerByName(only)
+		if a == nil {
+			fmt.Fprintf(os.Stderr, "approxlint: unknown analyzer %q (try -list)\n", only)
+			return 2
+		}
+		runner.Analyzers = []lint.Analyzer{a}
+	}
+	diags := runner.Run(pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "approxlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return failed
+}
+
+// runIR validates the domain data: knob registry completeness against the
+// TX2 device models, knob-set/curve invariants, and deep structural +
+// shape validation of every model-zoo graph (built at reduced width so the
+// check stays fast; shape inference touches no tensor data).
+func runIR() int {
+	bad := 0
+	report := func(errs []error) {
+		for _, e := range errs {
+			fmt.Println(e)
+			bad++
+		}
+	}
+
+	devs := []*device.Device{device.NewTX2GPU(), device.NewTX2CPU()}
+	report(core.CheckKnobRegistry(devs...))
+
+	type zooEntry struct {
+		g  *graph.Graph
+		in tensor.Shape
+	}
+	const seed, width = 1, 0.25
+	zoo := []zooEntry{
+		{models.LeNet(seed, width).Graph, tensor.NewShape(1, 1, 28, 28)},
+		{models.AlexNetCIFAR(seed, width).Graph, tensor.NewShape(1, 3, 32, 32)},
+		{models.AlexNet2(seed, width).Graph, tensor.NewShape(1, 3, 32, 32)},
+		{models.AlexNetImageNet(seed, width, 64, 100).Graph, tensor.NewShape(1, 3, 64, 64)},
+		{models.VGG16("vgg16", seed, width, 32, 10).Graph, tensor.NewShape(1, 3, 32, 32)},
+		{models.ResNet18(seed, width).Graph, tensor.NewShape(1, 3, 32, 32)},
+		{models.ResNet50(seed, width, 32, 10).Graph, tensor.NewShape(1, 3, 32, 32)},
+		{models.MobileNet(seed, width).Graph, tensor.NewShape(1, 3, 32, 32)},
+	}
+	for _, z := range zoo {
+		report(z.g.ValidateDeep(z.in))
+	}
+
+	// The default knob policies must only emit knobs the registry resolves.
+	for _, class := range []approx.OpClass{approx.OpConv, approx.OpMatMul, approx.OpReduce, approx.OpOther} {
+		for _, id := range approx.KnobsFor(class, true) {
+			if _, ok := approx.Lookup(id); !ok {
+				fmt.Printf("knob policy for %s emits unregistered id %d\n", class, id)
+				bad++
+			}
+		}
+	}
+
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "approxlint -ir: %d finding(s)\n", bad)
+		return 1
+	}
+	fmt.Printf("approxlint -ir: knob registry (%d knobs, %d devices) and %d model graphs validate clean\n",
+		len(approx.All()), len(devs), len(zoo))
+	return 0
+}

@@ -19,6 +19,7 @@ package approx
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/tensorops"
 )
@@ -159,6 +160,17 @@ func buildRegistry() map[KnobID]Knob {
 func Lookup(id KnobID) (Knob, bool) {
 	k, ok := registry[id]
 	return k, ok
+}
+
+// All returns every registered knob sorted by id — the domain the static
+// registry checker (core.CheckKnobRegistry) validates.
+func All() []Knob {
+	out := make([]Knob, 0, len(registry))
+	for _, k := range registry {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // MustLookup returns the knob with the given id, panicking if unknown.

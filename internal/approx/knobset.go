@@ -75,7 +75,13 @@ func KnobsFor(class OpClass, includeHardware bool) []KnobID {
 // 50% filter sampling has Rm = 4 (2× from FP16, 2× fewer loads) and
 // Rc = 2 — anchors the table.
 func CostFactors(id KnobID) (rc, rm float64) {
-	k := MustLookup(id)
+	return MustLookup(id).Factors()
+}
+
+// Factors returns the knob's (Rc, Rm) reduction factors; the value-based
+// form of CostFactors, usable on knobs that are not (or not yet) in the
+// registry — e.g. candidates under validation by core.CheckKnobs.
+func (k Knob) Factors() (rc, rm float64) {
 	rc, rm = 1, 1
 	switch k.Kind {
 	case KindBaseline:

@@ -11,9 +11,11 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"repro/internal/approx"
+	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/pareto"
 	"repro/internal/tensorops"
@@ -127,6 +129,16 @@ func Load(data []byte) (*Bundle, error) {
 	if b.FP16 != nil {
 		if err := checkPrecision(b.FP16, true); err != nil {
 			return nil, err
+		}
+	}
+	// Domain-level curve validation (relaxed mode: shipped development
+	// curves deliberately keep near-Pareto dominated points, §2.2).
+	for _, cv := range []*pareto.Curve{b.FP32, b.FP16} {
+		if cv == nil {
+			continue
+		}
+		if errs := core.CheckCurve(cv, false); len(errs) > 0 {
+			return nil, fmt.Errorf("artifact: curve %q failed validation: %w", cv.Program, errors.Join(errs...))
 		}
 	}
 	return &b, nil

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/approx"
@@ -96,8 +97,13 @@ type GraphProgram struct {
 }
 
 // NewGraphProgram builds the adapter and precomputes baseline caches and
-// cost tables.
+// cost tables. The graph is statically validated (structure and shape
+// consistency) before any tensor work happens, so a malformed graph fails
+// at program load with the full list of problems rather than mid-tuning.
 func NewGraphProgram(g *graph.Graph, calibIn, testIn *tensor.Tensor, calibMetric, testMetric qos.Metric) (*GraphProgram, error) {
+	if verrs := g.ValidateDeep(calibIn.Shape()); len(verrs) > 0 {
+		return nil, fmt.Errorf("core: graph %q failed static validation: %w", g.Name, errors.Join(verrs...))
+	}
 	costs, err := g.Costs(calibIn.Shape())
 	if err != nil {
 		return nil, err

@@ -137,6 +137,7 @@ func (rt *RuntimeTuner) RecordInvocation(execTime float64) {
 	rt.requiredPerf = systemSlowdown
 	gRtRequired.Set(rt.requiredPerf)
 	next := rt.pick(rt.requiredPerf)
+	//lint:ignore floateq curve points are discrete entries; a switch is a change of identity, not of magnitude
 	if next.Perf != rt.current.Perf || !sameConfig(next.Config, rt.current.Config) {
 		rt.switches++
 		mRtSwitches.Inc()
@@ -168,6 +169,7 @@ func (rt *RuntimeTuner) pick(required float64) pareto.Point {
 		return rt.curve.Points[rt.curve.Len()-1]
 	default: // PolicyAverage
 		below, above, _ := rt.curve.Bracket(required)
+		//lint:ignore floateq bracket endpoints coincide only when they are the same stored curve entry
 		if below.Perf == above.Perf {
 			return below
 		}
@@ -186,6 +188,7 @@ func (rt *RuntimeTuner) pick(required float64) pareto.Point {
 // 1.2 and 1.5 gives 2/3 and 1/3).
 func (rt *RuntimeTuner) MixProbabilities(required float64) (below, above pareto.Point, p1, p2 float64) {
 	below, above, _ = rt.curve.Bracket(required)
+	//lint:ignore floateq bracket endpoints coincide only when they are the same stored curve entry
 	if below.Perf == above.Perf {
 		return below, above, 1, 0
 	}

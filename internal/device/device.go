@@ -106,7 +106,12 @@ func NewTX2CPU() *Device {
 // SupportsKnob reports whether the device can execute a knob at all: FP16
 // variants require FP16 hardware; PROMISE knobs require the accelerator.
 func (d *Device) SupportsKnob(id approx.KnobID) bool {
-	k := approx.MustLookup(id)
+	return d.Supports(approx.MustLookup(id))
+}
+
+// Supports is the value-based form of SupportsKnob, usable on knob values
+// under validation that may not be registered.
+func (d *Device) Supports(k approx.Knob) bool {
 	if k.Kind == approx.KindPromise {
 		return d.promiseOn
 	}
@@ -160,6 +165,7 @@ func (d *Device) NodeTime(c graph.NodeCost, id approx.KnobID) float64 {
 func (d *Device) Time(costs []graph.NodeCost, cfg approx.Config) float64 {
 	var t float64
 	for _, c := range costs {
+		//lint:ignore floateq analytic cost rows are exactly zero for free ops (input, flatten)
 		if c.Nc == 0 && c.Nm == 0 {
 			continue
 		}
@@ -189,6 +195,7 @@ func (d *Device) NodeEnergy(c graph.NodeCost, id approx.KnobID) float64 {
 func (d *Device) Energy(costs []graph.NodeCost, cfg approx.Config) float64 {
 	var e float64
 	for _, c := range costs {
+		//lint:ignore floateq analytic cost rows are exactly zero for free ops (input, flatten)
 		if c.Nc == 0 && c.Nm == 0 {
 			continue
 		}

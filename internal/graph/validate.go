@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ValidateDeep runs the full static validation of a graph against a
+// program input shape and returns every problem found (empty slice when
+// the graph is well formed). Unlike Validate — which stops at the first
+// structural violation and is meant for builder-time assertions —
+// ValidateDeep collects all findings so `approxlint -ir` and program-load
+// checks can report a complete picture at once. It checks:
+//
+//   - node IDs matching slice positions and a valid output node;
+//   - dangling edges: inputs referencing node IDs outside the graph;
+//   - cycles, detected by DFS over the edge lists independent of ID order
+//     (the builder enforces topological IDs, but deserialized or
+//     hand-crafted graphs may not);
+//   - arity and parameter presence per op kind (weights on conv/matmul,
+//     two operands on add/mul, three on nms);
+//   - nodes unreachable from the output (dead subgraphs inflate cost
+//     tables and search spaces silently);
+//   - shape consistency across every dataflow edge, via InferShapes.
+func (g *Graph) ValidateDeep(in tensor.Shape) []error {
+	var errs []error
+	report := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("graph %q: "+format, append([]any{g.Name}, args...)...))
+	}
+	if len(g.Nodes) == 0 {
+		report("empty")
+		return errs
+	}
+	for i, n := range g.Nodes {
+		if n == nil {
+			report("node %d is nil", i)
+			return errs
+		}
+		if n.ID != i {
+			report("node at position %d has ID %d", i, n.ID)
+		}
+	}
+	if g.Output < 0 || g.Output >= len(g.Nodes) {
+		report("output id %d outside [0,%d)", g.Output, len(g.Nodes))
+	}
+
+	// Dangling edges and per-kind arity/parameter checks.
+	dangling := false
+	for _, n := range g.Nodes {
+		for _, id := range n.Inputs {
+			if id < 0 || id >= len(g.Nodes) {
+				report("node %q edge to nonexistent node %d (dangling)", n.Name, id)
+				dangling = true
+			}
+		}
+		switch n.Kind {
+		case OpInput:
+			if n.ID != 0 {
+				report("interior input node %d", n.ID)
+			}
+			if len(n.Inputs) != 0 {
+				report("input node has %d inputs", len(n.Inputs))
+			}
+		case OpConv, OpMatMul:
+			if n.Weight == nil {
+				report("node %q (%s) lacks weights", n.Name, n.Kind)
+			}
+			if len(n.Inputs) != 1 {
+				report("node %q (%s) has %d inputs, want 1", n.Name, n.Kind, len(n.Inputs))
+			}
+		case OpAdd, OpMul:
+			if len(n.Inputs) != 2 {
+				report("node %q (%s) has %d inputs, want 2", n.Name, n.Kind, len(n.Inputs))
+			}
+		case OpNMS:
+			if len(n.Inputs) != 3 {
+				report("node %q (nms) has %d inputs, want 3", n.Name, len(n.Inputs))
+			}
+		default:
+			if len(n.Inputs) != 1 {
+				report("node %q (%s) has %d inputs, want 1", n.Name, n.Kind, len(n.Inputs))
+			}
+		}
+	}
+	if dangling {
+		// Cycle/reachability walks index Nodes by edge target; a dangling
+		// edge would panic them, and shape inference is meaningless.
+		return errs
+	}
+
+	// Cycle detection: DFS with tricolor marking over the Inputs edges.
+	// Deliberately ignores ID ordering so a back-edge in a deserialized
+	// graph is reported as a cycle, not only as an ordering violation.
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the DFS stack
+		black = 2 // done
+	)
+	color := make([]int, len(g.Nodes))
+	var stack []int
+	var dfs func(id int) bool
+	dfs = func(id int) bool {
+		color[id] = grey
+		stack = append(stack, id)
+		for _, in := range g.Nodes[id].Inputs {
+			switch color[in] {
+			case grey:
+				// Render the cycle from the back-edge target onward.
+				var names []string
+				seen := false
+				for _, s := range stack {
+					if s == in {
+						seen = true
+					}
+					if seen {
+						names = append(names, g.Nodes[s].Name)
+					}
+				}
+				names = append(names, g.Nodes[in].Name)
+				report("cycle: %v", names)
+				return true
+			case white:
+				if dfs(in) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[id] = black
+		return false
+	}
+	cyclic := false
+	for id := range g.Nodes {
+		if color[id] == white {
+			stack = stack[:0]
+			if dfs(id) {
+				cyclic = true
+				break // one cycle report is enough; shapes are meaningless
+			}
+		}
+	}
+
+	// Topological-ID ordering (the executor's single forward sweep relies
+	// on it even for acyclic graphs).
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if in >= n.ID {
+				report("node %q input %d breaks topological order", n.Name, in)
+			}
+		}
+	}
+
+	// Reachability from the output.
+	if !cyclic && g.Output >= 0 && g.Output < len(g.Nodes) {
+		reach := make([]bool, len(g.Nodes))
+		var mark func(id int)
+		mark = func(id int) {
+			if reach[id] {
+				return
+			}
+			reach[id] = true
+			for _, in := range g.Nodes[id].Inputs {
+				mark(in)
+			}
+		}
+		mark(g.Output)
+		for _, n := range g.Nodes {
+			if !reach[n.ID] {
+				report("node %q (id %d) is unreachable from output %d", n.Name, n.ID, g.Output)
+			}
+		}
+	}
+
+	// Shape consistency across every edge. InferShapes itself reports
+	// mismatches (conv rank, matmul inner dim, add/mul operand sizes) but
+	// stops at the first; run node-by-node to collect them all.
+	if !cyclic && len(errs) == 0 {
+		shapes := make([]tensor.Shape, len(g.Nodes))
+		for _, n := range g.Nodes {
+			s, err := g.inferNode(n, shapes, in)
+			if err != nil {
+				errs = append(errs, err)
+				return errs // downstream shapes depend on this one
+			}
+			shapes[n.ID] = s
+		}
+	}
+	return errs
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// tensoralias: kernel input/output aliasing. Approximate tensor kernels
+// receive input slices and output slices; a kernel that writes into a
+// parameter slice it also reads as an input silently mutates the caller's
+// tensor — which corrupts the baseline caches the profiler and the Π1
+// predictor reuse across thousands of executions. The analyzer flags any
+// function in internal/tensorops whose parameter slice is both indexed as
+// an rvalue (or ranged over / used as a copy source) and plainly assigned
+// through. Compound assignment (out[i] += v) is treated as accumulation
+// into an output buffer, not an input read.
+
+// TensorAlias flags tensorops kernels that write a parameter slice they
+// also read.
+type TensorAlias struct{}
+
+func (TensorAlias) Name() string { return "tensoralias" }
+func (TensorAlias) Doc() string {
+	return "tensorops kernels must not write a parameter slice they also read as input"
+}
+
+// tensoraliasPkgSuffix scopes the analyzer to the kernel package.
+const tensoraliasPkgSuffix = "internal/tensorops"
+
+func (TensorAlias) Run(pass *Pass) {
+	if !strings.HasSuffix(pass.Pkg.Path, tensoraliasPkgSuffix) {
+		return
+	}
+	for i, f := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Pkg.Filenames[i], "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkAliasing(pass, fn)
+		}
+	}
+}
+
+type sliceParamUse struct {
+	name     string
+	writePos []token.Pos
+	readPos  []token.Pos
+}
+
+func checkAliasing(pass *Pass, fn *ast.FuncDecl) {
+	params := make(map[types.Object]*sliceParamUse)
+	for _, field := range fn.Type.Params.List {
+		for _, id := range field.Names {
+			obj := pass.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				params[obj] = &sliceParamUse{name: id.Name}
+			}
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+	lookup := func(e ast.Expr) *sliceParamUse {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil {
+			return nil
+		}
+		return params[obj]
+	}
+
+	// Collect write targets first so the read walk can skip them.
+	writes := make(map[ast.Node]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if u := lookup(ix.X); u != nil {
+					// Compound assignment (+=, *=, ...) counts as a write
+					// too; excluding the target from the read walk below
+					// treats it as accumulation into an output buffer
+					// rather than an input read.
+					writes[ix] = true
+					u.writePos = append(u.writePos, ix.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := node.X.(*ast.IndexExpr); ok {
+				if u := lookup(ix.X); u != nil {
+					writes[ix] = true
+					u.writePos = append(u.writePos, ix.Pos())
+				}
+			}
+		case *ast.CallExpr:
+			// copy(p, src) writes p; copy(dst, p) reads p.
+			if id, ok := node.Fun.(*ast.Ident); ok && id.Name == "copy" && len(node.Args) == 2 {
+				if u := lookup(node.Args[0]); u != nil {
+					u.writePos = append(u.writePos, node.Args[0].Pos())
+					writes[node.Args[0]] = true
+				}
+				if u := lookup(node.Args[1]); u != nil {
+					u.readPos = append(u.readPos, node.Args[1].Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	// Read walk: index expressions not recorded as write targets, and
+	// range statements over the parameter.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.IndexExpr:
+			if writes[node] {
+				return true
+			}
+			if u := lookup(node.X); u != nil {
+				u.readPos = append(u.readPos, node.Pos())
+			}
+		case *ast.RangeStmt:
+			if u := lookup(node.X); u != nil && node.Value != nil {
+				u.readPos = append(u.readPos, node.X.Pos())
+			}
+		}
+		return true
+	})
+
+	for _, u := range params {
+		if len(u.writePos) > 0 && len(u.readPos) > 0 {
+			pass.Reportf(u.writePos[0],
+				"kernel %s writes parameter slice %q which it also reads as input; approximate ops must not mutate inputs",
+				fn.Name.Name, u.name)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// floateq: floating-point == / != comparisons. Approximate kernels,
+// QoS scores and tradeoff points are all floating point; comparing them
+// with == is almost always a rounding-error bug waiting to happen. Code
+// that genuinely needs identity semantics should compare bit patterns
+// (math.Float64bits) or carry a //lint:ignore floateq annotation with the
+// reason. _test.go files are exempt by design: the project's tests assert
+// bit-for-bit reproducibility, where exact comparison is the point.
+
+// FloatEq flags == and != between floating-point operands outside tests.
+type FloatEq struct{}
+
+func (FloatEq) Name() string { return "floateq" }
+func (FloatEq) Doc() string {
+	return "no ==/!= on float32/float64 operands; use an epsilon or compare bits"
+}
+
+func (FloatEq) Run(pass *Pass) {
+	for i, f := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Pkg.Filenames[i], "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(be.X)) && !isFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			// Both sides compile-time constants: the comparison is exact
+			// by definition.
+			if isConst(pass, be.X) && isConst(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "%s compares floating-point values exactly; use an epsilon or math.Float64bits", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Float32, types.Float64, types.UntypedFloat:
+		return true
+	}
+	return false
+}
+
+func isConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}

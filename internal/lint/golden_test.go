@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepositoryIsLintClean is the golden gate: the committed tree must
+// produce zero findings. Any new violation either gets fixed or gets a
+// reasoned //lint:ignore — silently accumulating findings is not an
+// option because this test (and `make ci`, which runs cmd/approxlint)
+// fails on the first one.
+func TestRepositoryIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("only %d packages loaded from the module; loader is missing the tree", len(pkgs))
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			t.Errorf("%s: type error: %v", p.Path, terr)
+		}
+	}
+	diags := NewRunner().Run(pkgs)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("%d finding(s); fix them or add a reasoned //lint:ignore", len(diags))
+	}
+}

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// lockguard: shared-map discipline in the concurrent packages. Go maps are
+// not goroutine-safe; internal/parallel fans work out across GOMAXPROCS
+// goroutines and internal/distrib serves concurrent HTTP handlers, so in
+// those packages every write to a map that outlives the writing function
+// (a struct field, a package variable, a captured variable inside a `go`
+// closure) must happen after a sync.Mutex/RWMutex Lock in scope. The
+// analyzer also flags a Lock with no matching Unlock in the same function
+// — the missing-unlock half of the discipline.
+
+// LockGuard flags unguarded shared-map writes and missing unlocks in the
+// concurrency packages.
+type LockGuard struct{}
+
+func (LockGuard) Name() string { return "lockguard" }
+func (LockGuard) Doc() string {
+	return "shared-map writes in internal/parallel and internal/distrib need a lock; every Lock needs an Unlock"
+}
+
+// lockguardPkgSuffixes scopes the analyzer.
+var lockguardPkgSuffixes = []string{"internal/parallel", "internal/distrib"}
+
+func (l LockGuard) Run(pass *Pass) {
+	scoped := false
+	for _, s := range lockguardPkgSuffixes {
+		if strings.HasSuffix(pass.Pkg.Path, s) {
+			scoped = true
+		}
+	}
+	if !scoped {
+		return
+	}
+	for i, f := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Pkg.Filenames[i], "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				l.checkFunc(pass, fn.Body)
+			}
+		}
+	}
+}
+
+// lockScope is one function unit in the nesting chain, with the positions
+// of the mutex Lock calls made directly in it.
+type lockScope struct {
+	body       *ast.BlockStmt
+	lockPos    []token.Pos
+	goBoundary bool // this scope is the body of a `go` statement target
+}
+
+func (l LockGuard) checkFunc(pass *Pass, body *ast.BlockStmt) {
+	l.walkScope(pass, []*lockScope{{body: body}})
+}
+
+// walkScope analyzes one function unit given its enclosing scope chain
+// (outermost first). Nested function literals recurse with an extended
+// chain; literals launched via `go` mark a boundary that lock inheritance
+// cannot cross.
+func (l LockGuard) walkScope(pass *Pass, chain []*lockScope) {
+	cur := chain[len(chain)-1]
+	unlocks := make(map[string]bool) // receiver chain -> seen Unlock/RUnlock
+	locks := make(map[string]token.Pos)
+	rlockPos := make(map[string]token.Pos)
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			// Analyzed via the statements that launch it (GoStmt/DeferStmt/
+			// calls); find which below. Default: plain nested literal.
+			l.walkScope(pass, append(chain, &lockScope{body: node.Body}))
+			return false
+		case *ast.GoStmt:
+			if lit, ok := node.Call.Fun.(*ast.FuncLit); ok {
+				l.walkScope(pass, append(chain, &lockScope{body: lit.Body, goBoundary: true}))
+				for _, arg := range node.Call.Args {
+					ast.Inspect(arg, visit)
+				}
+				return false
+			}
+		case *ast.CallExpr:
+			// delete(m, k) on a shared map.
+			if id, ok := node.Fun.(*ast.Ident); ok && id.Name == "delete" && len(node.Args) == 2 {
+				l.checkMapWrite(pass, chain, node.Args[0], node.Pos())
+				break
+			}
+			sel, ok := node.Fun.(*ast.SelectorExpr)
+			if !ok {
+				break
+			}
+			if isMutexMethod(pass, sel) {
+				recv := exprString(sel.X)
+				switch sel.Sel.Name {
+				case "Lock":
+					cur.lockPos = append(cur.lockPos, node.Pos())
+					if _, seen := locks[recv]; !seen {
+						locks[recv] = node.Pos()
+					}
+				case "RLock":
+					if _, seen := rlockPos[recv]; !seen {
+						rlockPos[recv] = node.Pos()
+					}
+				case "Unlock", "RUnlock":
+					unlocks[recv] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if t := pass.TypeOf(ix.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						l.checkMapWrite(pass, chain, ix.X, ix.Pos())
+					}
+				}
+			}
+		}
+		return true
+	}
+	// delete() is also a CallExpr with Ident fun; handled above.
+	for _, stmt := range cur.body.List {
+		ast.Inspect(stmt, visit)
+	}
+
+	for recv, pos := range locks {
+		if !unlocks[recv] {
+			pass.Reportf(pos, "%s.Lock() has no matching Unlock in this function", recv)
+		}
+	}
+	for recv, pos := range rlockPos {
+		if !unlocks[recv] {
+			pass.Reportf(pos, "%s.RLock() has no matching RUnlock in this function", recv)
+		}
+	}
+}
+
+// checkMapWrite reports a write to a shared map with no Lock in scope. A
+// map is shared when its base is not a variable declared inside the
+// current function chain segment (field selectors and captured/global
+// variables are shared; locals are not). Lock positions are searched in
+// the current scope and enclosing scopes up to the nearest `go` boundary.
+func (l LockGuard) checkMapWrite(pass *Pass, chain []*lockScope, base ast.Expr, writePos token.Pos) {
+	cur := chain[len(chain)-1]
+	if id, ok := base.(*ast.Ident); ok {
+		obj := pass.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		// Declared inside the innermost function unit: local, unshared —
+		// unless the write happens inside a `go` closure that captured it.
+		if cur.body.Pos() <= obj.Pos() && obj.Pos() <= cur.body.End() {
+			return
+		}
+		// Captured from an enclosing unit without crossing a goroutine
+		// boundary: still confined to one goroutine.
+		for i := len(chain) - 2; i >= 0; i-- {
+			if chain[i+1].goBoundary {
+				break
+			}
+			sc := chain[i]
+			if sc.body.Pos() <= obj.Pos() && obj.Pos() <= sc.body.End() {
+				return
+			}
+		}
+	}
+	// Search for a Lock before the write, in this scope or enclosing
+	// scopes reachable without crossing a `go` boundary.
+	for i := len(chain) - 1; i >= 0; i-- {
+		for _, p := range chain[i].lockPos {
+			if p < writePos {
+				return
+			}
+		}
+		if chain[i].goBoundary {
+			break
+		}
+	}
+	pass.Reportf(writePos, "write to shared map %s is not guarded by a mutex Lock in scope", exprString(base))
+}
+
+// isMutexMethod reports whether sel is a method call on a
+// sync.Mutex/sync.RWMutex (possibly through a pointer or embedded field).
+func isMutexMethod(pass *Pass, sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	s := t.String()
+	return strings.HasSuffix(s, "sync.Mutex") || strings.HasSuffix(s, "sync.RWMutex")
+}
+
+// exprString renders a selector chain for diagnostics ("c.mu").
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "()"
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// spanend: observability span hygiene. A span returned by Tracer.Start /
+// Span.Child (and the obs.Start package helper) must be ended on every
+// path of the function that created it — otherwise the span never reaches
+// the JSONL export and the trace tree silently loses a subtree. The
+// analyzer requires either `defer sp.End()` or an explicit `sp.End()`
+// that no return statement can bypass. Ownership transfers — returning
+// the span, storing it in a struct field or variable, appending it to a
+// collection — exempt the creation site (the owner ends it elsewhere,
+// e.g. RuntimeTuner.Close).
+
+// SpanEnd flags obs spans that are started but not ended on all paths.
+type SpanEnd struct{}
+
+func (SpanEnd) Name() string { return "spanend" }
+func (SpanEnd) Doc() string {
+	return "every obs span started must be ended on all paths (defer or explicit)"
+}
+
+// spanTypeSuffix matches *repro/internal/obs.Span without hardcoding the
+// module name.
+const spanTypeSuffix = "internal/obs.Span"
+
+func isSpanType(t string) bool {
+	return strings.HasPrefix(t, "*") && strings.HasSuffix(t, spanTypeSuffix)
+}
+
+func (s SpanEnd) Run(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		// Analyze each function unit (declaration or literal) separately:
+		// the creator of a span is responsible for ending it.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					s.checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				s.checkFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// spanUse accumulates everything the function does with one span variable.
+type spanUse struct {
+	assignPos token.Pos
+	deferred  bool        // defer sp.End() (directly or via deferred closure)
+	endPos    []token.Pos // explicit sp.End() call positions
+	exempt    bool        // returned / stored / aliased: ownership moved
+}
+
+func (s SpanEnd) checkFunc(pass *Pass, body *ast.BlockStmt) {
+	// Pass 1: span-producing assignments directly in this unit (nested
+	// literals are their own units).
+	uses := make(map[string]*spanUse) // keyed by object position (unique per var)
+	varName := make(map[string]string)
+	objKey := func(id *ast.Ident) string {
+		obj := pass.ObjectOf(id)
+		if obj == nil {
+			return ""
+		}
+		return pass.Fset.Position(obj.Pos()).String()
+	}
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if _, ok := as.Rhs[0].(*ast.CallExpr); !ok {
+			return
+		}
+		t := pass.TypeOf(as.Rhs[0])
+		if t == nil || !isSpanType(t.String()) {
+			return
+		}
+		key := objKey(id)
+		if key == "" {
+			return
+		}
+		if _, seen := uses[key]; !seen {
+			uses[key] = &spanUse{assignPos: as.Pos()}
+			varName[key] = id.Name
+		}
+	})
+	if len(uses) == 0 {
+		return
+	}
+
+	// Pass 2: ends, defers and ownership transfers anywhere in the unit,
+	// nested literals included (a deferred closure may end the span; a
+	// goroutine handed the span owns it).
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch node := m.(type) {
+			case *ast.DeferStmt:
+				walk(node.Call, true)
+				return false
+			case *ast.CallExpr:
+				if sel, ok := node.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" && len(node.Args) == 0 {
+					// The receiver may be a chain of pass-through span
+					// methods: sp.With("k", v).End().
+					if id := chainBaseIdent(sel.X); id != nil {
+						if u := uses[objKey(id)]; u != nil {
+							if inDefer {
+								u.deferred = true
+							} else {
+								u.endPos = append(u.endPos, node.Pos())
+							}
+							return true
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range node.Results {
+					if id, ok := res.(*ast.Ident); ok {
+						if u := uses[objKey(id)]; u != nil {
+							u.exempt = true
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				// Storing the span somewhere else moves ownership:
+				// x.field = sp, m[k] = sp, alias := sp.
+				for _, rhs := range node.Rhs {
+					if id, ok := rhs.(*ast.Ident); ok {
+						if u := uses[objKey(id)]; u != nil && node.Pos() != u.assignPos {
+							u.exempt = true
+						}
+					}
+				}
+			case *ast.KeyValueExpr:
+				if id, ok := node.Value.(*ast.Ident); ok {
+					if u := uses[objKey(id)]; u != nil {
+						u.exempt = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+
+	// Pass 3: returns at this unit's level that could bypass the earliest
+	// explicit End.
+	var returns []token.Pos
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, r.Pos())
+		}
+	})
+
+	for key, u := range uses {
+		if u.exempt || u.deferred {
+			continue
+		}
+		name := varName[key]
+		if len(u.endPos) == 0 {
+			pass.Reportf(u.assignPos, "span %q is started but never ended in this function; add defer %s.End()", name, name)
+			continue
+		}
+		first := u.endPos[0]
+		for _, p := range u.endPos {
+			if p < first {
+				first = p
+			}
+		}
+		for _, r := range returns {
+			if r > u.assignPos && r < first {
+				pass.Reportf(r, "return may bypass %s.End() (started at %s); end the span with defer",
+					name, pass.Fset.Position(u.assignPos))
+			}
+		}
+	}
+}
+
+// chainBaseIdent unwraps a method-call chain (sp.With(...).With(...)) to
+// its base identifier; nil when the base is not a plain identifier.
+func chainBaseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return nil
+			}
+			e = sel.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// inspectSkippingFuncLits walks a function body without descending into
+// nested function literals (which are analyzed as their own units).
+func inspectSkippingFuncLits(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}

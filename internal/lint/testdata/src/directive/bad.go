@@ -1,0 +1,12 @@
+// Package directive is a lint fixture: malformed and unknown suppression
+// directives are themselves findings (checked by explicit expectations in
+// the test, since the directive occupies its own comment line).
+package directive
+
+//lint:ignore floateq
+func missingReason(a, b float64) bool {
+	return a == b
+}
+
+//lint:ignore nosuchanalyzer the analyzer name is wrong
+func unknownAnalyzer() {}

@@ -1,0 +1,28 @@
+// Package floateq is a lint fixture: exact floating-point comparison.
+package floateq
+
+// Close compares floats exactly — flagged.
+func Close(a, b float64) bool {
+	return a == b // want floateq
+}
+
+// NotZero compares a float32 against a constant — flagged (one operand is
+// a variable).
+func NotZero(a float32) bool {
+	return a != 0 // want floateq
+}
+
+// Suppressed carries a justified ignore directive — not flagged.
+func Suppressed(a, b float64) bool {
+	//lint:ignore floateq fixture: documented intentional exact comparison
+	return a == b
+}
+
+// Ints is integer equality — not flagged.
+func Ints(a, b int) bool { return a == b }
+
+const eps = 1e-9
+
+// ConstsOnly compares two compile-time constants — exact by definition,
+// not flagged.
+func ConstsOnly() bool { return eps == 1e-9 }

@@ -1,0 +1,66 @@
+// Package parallel is a lint fixture: shared-map lock discipline.
+package parallel
+
+import "sync"
+
+// Registry is shared state guarded by a mutex.
+type Registry struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// PutLocked writes under the lock and releases it — clean.
+func (r *Registry) PutLocked(k string, v int) {
+	r.mu.Lock()
+	r.m[k] = v
+	r.mu.Unlock()
+}
+
+// PutDeferred uses the defer idiom — clean.
+func (r *Registry) PutDeferred(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[k] = v
+}
+
+// PutUnlocked writes a shared map with no lock in scope — flagged.
+func (r *Registry) PutUnlocked(k string, v int) {
+	r.m[k] = v // want lockguard
+}
+
+// DropUnlocked deletes from a shared map with no lock — flagged.
+func (r *Registry) DropUnlocked(k string) {
+	delete(r.m, k) // want lockguard
+}
+
+// Forgot locks but never unlocks — flagged at the Lock.
+func (r *Registry) Forgot(k string, v int) {
+	r.mu.Lock() // want lockguard
+	r.m[k] = v
+}
+
+// Local writes a function-local map — clean.
+func Local() {
+	m := map[string]int{}
+	m["a"] = 1
+}
+
+// Spawn writes a shared map inside a goroutine; the enclosing scope's
+// lock state does not carry across the go boundary — flagged.
+func Spawn(r *Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go func() {
+		r.m["x"] = 1 // want lockguard
+	}()
+}
+
+// Captured writes a map captured from the enclosing function without
+// crossing a goroutine boundary — clean (single-goroutine confinement).
+func Captured() {
+	m := map[string]int{}
+	f := func() {
+		m["a"] = 1
+	}
+	f()
+}

@@ -1,0 +1,30 @@
+// Package tensorops is a lint fixture: kernel input/output aliasing.
+package tensorops
+
+// Scale reads in and writes out — clean.
+func Scale(out, in []float32, k float32) {
+	for i := range out {
+		out[i] = in[i] * k
+	}
+}
+
+// InPlace writes the same parameter slice it reads — flagged.
+func InPlace(buf []float32) {
+	for i := range buf {
+		buf[i] = buf[i] * 2 // want tensoralias
+	}
+}
+
+// Accumulate compound-assigns into out (an output buffer) — clean.
+func Accumulate(out, in []float32) {
+	for i := range in {
+		out[i] += in[i]
+	}
+}
+
+// CopyAlias round-trips through tmp: both parameters are written and read
+// — both flagged.
+func CopyAlias(buf, tmp []float32) {
+	copy(tmp, buf) // want tensoralias
+	copy(buf, tmp) // want tensoralias
+}

@@ -1,0 +1,52 @@
+// Package spanfix is a lint fixture: obs span hygiene.
+package spanfix
+
+import "repro/internal/obs"
+
+// Leak starts a span and never ends it — flagged.
+func Leak(t *obs.Tracer) {
+	sp := t.Start("leak") // want spanend
+	_ = sp.AcquireDetail()
+}
+
+// Deferred ends the span with defer — clean.
+func Deferred(t *obs.Tracer) {
+	sp := t.Start("ok")
+	defer sp.End()
+}
+
+// Bypass ends the span explicitly but an earlier return can skip it —
+// flagged at the return.
+func Bypass(t *obs.Tracer, fail bool) {
+	sp := t.Start("bypass")
+	if fail {
+		return // want spanend
+	}
+	sp.End()
+}
+
+// Transfer hands ownership to the caller — clean.
+func Transfer(t *obs.Tracer) *obs.Span {
+	sp := t.Start("transfer")
+	return sp
+}
+
+// Stored moves the span into a struct; the owner ends it elsewhere — clean.
+func Stored(t *obs.Tracer, holder *struct{ S *obs.Span }) {
+	sp := t.Start("stored")
+	holder.S = sp
+}
+
+// Chained ends through a pass-through method chain — clean.
+func Chained(t *obs.Tracer) {
+	sp := t.Start("chained")
+	defer sp.With("k", 1).End()
+}
+
+// Closure ends the span inside a deferred closure — clean.
+func Closure(t *obs.Tracer) {
+	sp := t.Start("closure")
+	defer func() {
+		sp.End()
+	}()
+}

@@ -1,0 +1,13 @@
+// Package stdlibonly is a lint fixture: third-party imports are banned.
+package stdlibonly
+
+import (
+	"fmt"
+
+	_ "github.com/example/fastmath" // want stdlibonly
+
+	_ "repro/internal/tensor"
+)
+
+// Use keeps fmt imported.
+func Use() { fmt.Println("fixture") }

@@ -44,6 +44,7 @@ func Gemm(a, b, c []float32, m, k, n int) {
 			arow := a[i*k : (i+1)*k]
 			crow := c[i*n : (i+1)*n]
 			for l, av := range arow {
+				//lint:ignore floateq sparsity fast path: exactly-zero activations contribute nothing
 				if av == 0 {
 					continue
 				}
