@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet lint build test race bench
+.PHONY: ci fmt-check vet lint build test race bench bench-smoke
 
 ci: fmt-check vet lint build race
 
@@ -35,5 +35,16 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
+# Kernel benchmarks (full benchtime) plus one pass of the end-to-end
+# per-figure experiment benchmarks, with allocation stats, parsed into
+# the committed BENCH_PR3.json snapshot (cmd/benchjson). Regenerate
+# after kernel work.
 bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/tensorops > bench.out
+	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . >> bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR3.json < bench.out
+	@rm bench.out
+
+# One-iteration smoke run of every benchmark in the module.
+bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

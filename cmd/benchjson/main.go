@@ -1,0 +1,63 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a stable JSON snapshot of the kernel benchmarks, one object per
+// benchmark with the fields that matter for the perf gate: op name,
+// ns/op, B/op and allocs/op (plus iterations and MB/s when reported).
+// `make bench` pipes the tensorops benchmarks through it to regenerate
+// BENCH_PR3.json, the committed record of the kernel-engine numbers.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -run '^$' ./internal/tensorops | benchjson -o BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+func parseBench(r io.Reader) ([]benchResult, error) {
+	var results []benchResult
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the terminal
+		if res, ok := parseLine(line); ok {
+			results = append(results, res)
+		}
+	}
+	return results, sc.Err()
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line. B/op and allocs/op default to
+// -1 when the run did not use -benchmem, so "measured zero allocations"
+// and "not measured" stay distinguishable in the snapshot.
+type benchResult struct {
+	Op          string  `json:"op"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BPerOp      int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkGemm-4   428   2761529 ns/op   284.81 MB/s   0 B/op   0 allocs/op
+//
+// Non-benchmark lines (headers, PASS, ok ...) report ok=false.
+func parseLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Trim the -GOMAXPROCS suffix the harness appends to every name.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	res := benchResult{Op: name, Iterations: iters, BPerOp: -1, AllocsPerOp: -1}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = val
+			seen = true
+		case "MB/s":
+			res.MBPerS = val
+		case "B/op":
+			res.BPerOp = int64(val)
+		case "allocs/op":
+			res.AllocsPerOp = int64(val)
+		}
+	}
+	return res, seen
+}

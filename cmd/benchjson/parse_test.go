@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	res, ok := parseLine("BenchmarkGemm-4   \t 428\t   2761529 ns/op\t 284.81 MB/s\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	want := benchResult{Op: "Gemm", Iterations: 428, NsPerOp: 2761529, MBPerS: 284.81, BPerOp: 0, AllocsPerOp: 0}
+	if res != want {
+		t.Fatalf("parsed %+v, want %+v", res, want)
+	}
+}
+
+func TestParseLineWithoutBenchmem(t *testing.T) {
+	res, ok := parseLine("BenchmarkSoftmax-1 \t 1000 \t 104301 ns/op")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if res.Op != "Softmax" || res.NsPerOp != 104301 {
+		t.Fatalf("parsed %+v", res)
+	}
+	if res.BPerOp != -1 || res.AllocsPerOp != -1 {
+		t.Fatalf("missing -benchmem columns should stay -1, got %+v", res)
+	}
+}
+
+func TestParseLineSubBenchmarkName(t *testing.T) {
+	// Sub-benchmark names keep their slash path; only the trailing
+	// -GOMAXPROCS suffix is trimmed.
+	res, ok := parseLine("BenchmarkConv/pad-1-8 \t 12 \t 99 ns/op")
+	if !ok || res.Op != "Conv/pad-1" {
+		t.Fatalf("parsed %+v ok=%v, want op Conv/pad-1", res, ok)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro/internal/tensorops\t12.3s",
+		"BenchmarkBroken-4 notanumber 12 ns/op",
+		"Benchmark justkidding",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q should not parse as a benchmark", line)
+		}
+	}
+}

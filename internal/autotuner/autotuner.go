@@ -87,7 +87,9 @@ type Tuner struct {
 	techniques []technique
 	bandit     *bandit
 	lastTech   int
-	pending    approx.Config
+	// pendingTechs parallels the configs of the last NextBatch call: which
+	// technique proposed each entry, consumed in order by ReportBatch.
+	pendingTechs []int
 }
 
 type scored struct {
@@ -157,16 +159,63 @@ func (t *Tuner) Best() (approx.Config, float64) { return t.best, t.bestFit }
 
 // Next proposes the next configuration to evaluate.
 func (t *Tuner) Next() approx.Config {
-	t.lastTech = t.bandit.pick(t.rng)
-	mProposals.With(t.techniques[t.lastTech].name()).Inc()
-	cfg := t.techniques[t.lastTech].propose(t)
-	t.pending = cfg
+	cfg, tech := t.propose()
+	t.lastTech = tech
 	return cfg
+}
+
+// propose draws one configuration from the bandit-selected technique.
+func (t *Tuner) propose() (approx.Config, int) {
+	tech := t.bandit.pick(t.rng)
+	mProposals.With(t.techniques[tech].name()).Inc()
+	return t.techniques[tech].propose(t), tech
+}
+
+// NextBatch proposes up to k configurations for concurrent evaluation,
+// clamped so the search never overshoots MaxIters. All k are drawn before
+// any of their feedback exists — a batch trades per-proposal adaptivity for
+// evaluation parallelism, and its composition depends only on the tuner
+// state at the call, never on evaluation order or worker count.
+// NextBatch(1) followed by ReportBatch is identical to Next+Report.
+func (t *Tuner) NextBatch(k int) []approx.Config {
+	if rem := t.opts.MaxIters - t.iter; k > rem {
+		k = rem
+	}
+	if k < 1 {
+		k = 1
+	}
+	cfgs := make([]approx.Config, 0, k)
+	t.pendingTechs = t.pendingTechs[:0]
+	for i := 0; i < k; i++ {
+		cfg, tech := t.propose()
+		cfgs = append(cfgs, cfg)
+		t.pendingTechs = append(t.pendingTechs, tech)
+	}
+	return cfgs
+}
+
+// ReportBatch feeds back the evaluations of the configurations returned by
+// the previous NextBatch call, in index order. Callers evaluating the batch
+// concurrently must collect results by index before reporting, which keeps
+// best/elite selection and technique credit deterministic regardless of
+// evaluation interleaving.
+func (t *Tuner) ReportBatch(cfgs []approx.Config, fbs []Feedback) {
+	if len(cfgs) != len(fbs) || len(cfgs) > len(t.pendingTechs) {
+		panic("autotuner: ReportBatch arity mismatch with NextBatch")
+	}
+	for i, cfg := range cfgs {
+		t.reportWith(t.pendingTechs[i], cfg, fbs[i])
+	}
+	t.pendingTechs = t.pendingTechs[:0]
 }
 
 // Report feeds back the evaluation of the configuration returned by the
 // previous Next call (§3.1: "setConfigFitness").
 func (t *Tuner) Report(cfg approx.Config, fb Feedback) {
+	t.reportWith(t.lastTech, cfg, fb)
+}
+
+func (t *Tuner) reportWith(tech int, cfg approx.Config, fb Feedback) {
 	t.iter++
 	fit := t.fitness(fb)
 	improved := fit > t.bestFit
@@ -181,8 +230,8 @@ func (t *Tuner) Report(cfg approx.Config, fb Feedback) {
 		t.sinceBest++
 		mRejects.Inc()
 	}
-	t.bandit.report(t.lastTech, improved)
-	t.techniques[t.lastTech].feedback(t, cfg, fit, improved)
+	t.bandit.report(tech, improved)
+	t.techniques[tech].feedback(t, cfg, fit, improved)
 	t.addElite(cfg, fit)
 }
 

@@ -177,3 +177,101 @@ func TestEmptyProblemPanics(t *testing.T) {
 	}()
 	New(Problem{}, Options{})
 }
+
+// TestBatchOfOneMatchesSequential pins the batched API's base case: a
+// NextBatch(1)+ReportBatch trajectory must be indistinguishable from the
+// classic Next+Report loop under the same seed — same proposals, same best.
+func TestBatchOfOneMatchesSequential(t *testing.T) {
+	p := testProblem(4, 5)
+	seq := New(p, Options{MaxIters: 400, StallLimit: 150, QoSMin: 88, Seed: 21})
+	bat := New(p, Options{MaxIters: 400, StallLimit: 150, QoSMin: 88, Seed: 21})
+	for step := 0; !seq.Done(); step++ {
+		if bat.Done() {
+			t.Fatalf("batched tuner converged early at step %d", step)
+		}
+		sc := seq.Next()
+		bc := bat.NextBatch(1)
+		if len(bc) != 1 || !sc.Equal(bc[0], 4) {
+			t.Fatalf("step %d: proposals diverge: %v vs %v", step, sc, bc)
+		}
+		fb := evaluate(p, sc)
+		seq.Report(sc, fb)
+		bat.ReportBatch(bc, []Feedback{fb})
+	}
+	if !bat.Done() {
+		t.Fatal("batched tuner did not converge with the sequential one")
+	}
+	c1, f1 := seq.Best()
+	c2, f2 := bat.Best()
+	if f1 != f2 || !c1.Equal(c2, 4) {
+		t.Fatalf("best diverged: %v (fit %v) vs %v (fit %v)", c1, f1, c2, f2)
+	}
+}
+
+// TestBatchedTuningDeterministic: a batch-k loop reaches the same result on
+// every run with the same seed — the batch composition depends only on tuner
+// state at the NextBatch call, never on evaluation interleaving.
+func TestBatchedTuningDeterministic(t *testing.T) {
+	p := testProblem(4, 5)
+	run := func() (approx.Config, float64, int) {
+		tuner := New(p, Options{MaxIters: 500, StallLimit: 200, QoSMin: 88, Seed: 9})
+		for !tuner.Done() {
+			cfgs := tuner.NextBatch(8)
+			fbs := make([]Feedback, len(cfgs))
+			for i, cfg := range cfgs {
+				fbs[i] = evaluate(p, cfg)
+			}
+			tuner.ReportBatch(cfgs, fbs)
+		}
+		cfg, fit := tuner.Best()
+		return cfg, fit, tuner.Iterations()
+	}
+	c1, f1, n1 := run()
+	c2, f2, n2 := run()
+	if f1 != f2 || n1 != n2 || !c1.Equal(c2, 4) {
+		t.Fatalf("batched runs diverged: fit %v/%v iters %d/%d", f1, f2, n1, n2)
+	}
+}
+
+// TestNextBatchClampsAtMaxIters: the final batch shrinks so the search never
+// evaluates past the iteration cap.
+func TestNextBatchClampsAtMaxIters(t *testing.T) {
+	p := testProblem(2, 3)
+	tuner := New(p, Options{MaxIters: 10, StallLimit: 100, Seed: 3})
+	report := func(cfgs []approx.Config) {
+		fbs := make([]Feedback, len(cfgs))
+		for i, cfg := range cfgs {
+			fbs[i] = evaluate(p, cfg)
+		}
+		tuner.ReportBatch(cfgs, fbs)
+	}
+	first := tuner.NextBatch(8)
+	if len(first) != 8 {
+		t.Fatalf("first batch: %d proposals, want 8", len(first))
+	}
+	report(first)
+	second := tuner.NextBatch(8)
+	if len(second) != 2 {
+		t.Fatalf("final batch: %d proposals, want 2 (clamped to MaxIters)", len(second))
+	}
+	report(second)
+	if tuner.Iterations() != 10 {
+		t.Fatalf("iterations %d, want exactly MaxIters", tuner.Iterations())
+	}
+	if !tuner.Done() {
+		t.Fatal("tuner not done at the cap")
+	}
+}
+
+// TestReportBatchArityPanics: feedback must match the preceding NextBatch.
+func TestReportBatchArityPanics(t *testing.T) {
+	p := testProblem(2, 3)
+	tuner := New(p, Options{MaxIters: 10, Seed: 3})
+	cfgs := tuner.NextBatch(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arity mismatch")
+		}
+	}()
+	tuner.ReportBatch(cfgs, make([]Feedback, 2))
+}

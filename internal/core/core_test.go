@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/approx"
@@ -512,5 +513,45 @@ func TestInt8ExtensionKnob(t *testing.T) {
 	base := gp.BaselineOut(Calib)
 	if out.Shape().Equal(base.Shape()) == false {
 		t.Fatal("INT8 execution changed output shape")
+	}
+}
+
+// TestEmpiricalTuneWorkerInvariant pins the determinism contract of the
+// parallel tuning loop: the curve is a pure function of (seed, EvalBatch).
+// Candidate RNGs are split sequentially before the batch is evaluated and
+// feedback is reported in index order, so running the same options under a
+// different worker count must reproduce the frontier bit for bit.
+func TestEmpiricalTuneWorkerInvariant(t *testing.T) {
+	gp, b := buildTestProgram(t)
+	qosMin := b.BaselineAcc - 3
+	o := fastOpts(qosMin, 0)
+	o.MaxIters = 80
+
+	run := func() *pareto.Curve {
+		res, err := EmpiricalTune(gp, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Curve
+	}
+	base := run()
+
+	prev := runtime.GOMAXPROCS(4) // force the multi-worker dispatch path
+	wide := run()
+	runtime.GOMAXPROCS(prev)
+
+	same := run() // and plain repeatability under identical settings
+
+	nOps := len(gp.Ops())
+	for name, got := range map[string]*pareto.Curve{"GOMAXPROCS=4": wide, "repeat": same} {
+		if got.Len() != base.Len() {
+			t.Fatalf("%s: curve length %d, want %d", name, got.Len(), base.Len())
+		}
+		for i, pt := range got.Points {
+			ref := base.Points[i]
+			if pt.QoS != ref.QoS || pt.Perf != ref.Perf || !pt.Config.Equal(ref.Config, nOps) {
+				t.Fatalf("%s: point %d diverged: %+v vs %+v", name, i, pt, ref)
+			}
+		}
 	}
 }

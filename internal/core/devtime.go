@@ -7,6 +7,7 @@ import (
 	"repro/internal/approx"
 	"repro/internal/autotuner"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/pareto"
 	"repro/internal/predictor"
 	"repro/internal/tensor"
@@ -39,8 +40,19 @@ type Options struct {
 	// as the Perf objective — §3.1: "tuning other goals such as energy
 	// savings by providing a corresponding prediction model".
 	PerfModel func(approx.Config) float64
+	// EvalBatch is how many candidate configurations EmpiricalTune draws
+	// per search step (Tuner.NextBatch) and evaluates concurrently. A batch
+	// is proposed before any of its feedback exists, so the search
+	// trajectory depends on the batch size but never on worker count or
+	// evaluation order. The default is a fixed machine-independent 8 —
+	// deliberately not GOMAXPROCS, so the same seed gives the same curve on
+	// every host; 1 recovers the classic fully-sequential loop.
+	EvalBatch int
 	Seed      int64
 }
+
+// defaultEvalBatch is EmpiricalTune's machine-independent batch width.
+const defaultEvalBatch = 8
 
 func (o Options) norm() Options {
 	if o.Model == 0 {
@@ -57,6 +69,9 @@ func (o Options) norm() Options {
 	}
 	if o.MaxConfigs == 0 {
 		o.MaxConfigs = 50
+	}
+	if o.EvalBatch == 0 {
+		o.EvalBatch = defaultEvalBatch
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -124,11 +139,18 @@ func PredictiveTune(p Program, o Options) (*Result, error) {
 	}
 	prob := problemFor(p, o.Policy)
 	calibRng := rng.Split(2)
+	calCfgs := make([]approx.Config, o.NCalibrate)
+	calRngs := make([]*tensor.RNG, o.NCalibrate)
+	for i := range calCfgs {
+		// Draw the config and the per-run RNG sequentially (Split advances
+		// the parent), in the exact interleaving of the sequential loop.
+		calCfgs[i] = randomConfig(prob, calibRng)
+		calRngs[i] = calibRng.Split(int64(i))
+	}
+	calQoS := evalScores(p, calCfgs, calRngs, nil)
 	samples := make([]predictor.Sample, 0, o.NCalibrate)
-	for i := 0; i < o.NCalibrate; i++ {
-		cfg := randomConfig(prob, calibRng)
-		out := p.Run(cfg, Calib, calibRng.Split(int64(i)))
-		samples = append(samples, predictor.Sample{Cfg: cfg, QoS: p.Score(Calib, out)})
+	for i, cfg := range calCfgs {
+		samples = append(samples, predictor.Sample{Cfg: cfg, QoS: calQoS[i]})
 	}
 	st.Alpha = qp.Calibrate(samples)
 	csp.With("alpha", st.Alpha).End()
@@ -184,12 +206,17 @@ func PredictiveTune(p Program, o Options) (*Result, error) {
 	vsp := root.Child("validate").With("shortlist", len(shortlist))
 	shortlist = ensureBaseline(shortlist, baseCfg, profiles.BaseQoS, nOps)
 	valRng := rng.Split(3)
+	valCfgs := make([]approx.Config, len(shortlist))
+	valRngs := make([]*tensor.RNG, len(shortlist))
+	for i, pt := range shortlist {
+		valCfgs[i] = pt.Config
+		valRngs[i] = valRng.Split(int64(i))
+	}
+	valQoS := evalScores(p, valCfgs, valRngs, vsp)
 	var validated []pareto.Point
 	for i, pt := range shortlist {
-		out := runTraced(p, pt.Config, Calib, valRng.Split(int64(i)), vsp)
-		realQoS := p.Score(Calib, out)
-		if realQoS > o.QoSMin {
-			validated = append(validated, pareto.Point{QoS: realQoS, Perf: pt.Perf, Config: pt.Config})
+		if valQoS[i] > o.QoSMin {
+			validated = append(validated, pareto.Point{QoS: valQoS[i], Perf: pt.Perf, Config: pt.Config})
 		}
 	}
 	st.Validated = len(validated)
@@ -209,6 +236,14 @@ func PredictiveTune(p Program, o Options) (*Result, error) {
 // still comes from the hardware-agnostic cost model, exactly as at
 // development time in the paper (real hardware is absent until install
 // time).
+//
+// Candidates are drawn EvalBatch at a time (Tuner.NextBatch) and evaluated
+// concurrently. Each evaluation's RNG is split off the run RNG
+// sequentially before the batch runs, so an evaluation depends only on its
+// (config, rng) pair; feedback is reported in index order
+// (Tuner.ReportBatch). The resulting curve is a deterministic function of
+// (seed, EvalBatch) — worker count and evaluation interleaving cannot
+// change it — and EvalBatch=1 reproduces the sequential loop exactly.
 func EmpiricalTune(p Program, o Options) (*Result, error) {
 	o = o.norm()
 	root := obs.Start("phase:devtime").
@@ -238,20 +273,30 @@ func EmpiricalTune(p Program, o Options) (*Result, error) {
 	seen[baseCfg.Key(nOps)] = true
 	i := 0
 	for !tuner.Done() {
-		cfg := tuner.Next()
-		out := p.Run(cfg, Calib, rng.Split(int64(i)))
-		realQoS := p.Score(Calib, out)
-		perf := perfOf(cfg)
-		tuner.Report(cfg, autotuner.Feedback{QoS: realQoS, Perf: perf})
-		st.RawConfigs++
-		if realQoS > o.QoSMin {
-			key := cfg.Key(nOps)
-			if !seen[key] {
-				seen[key] = true
-				candidates = append(candidates, pareto.Point{QoS: realQoS, Perf: perf, Config: cfg.Clone()})
+		cfgs := tuner.NextBatch(o.EvalBatch)
+		rngs := make([]*tensor.RNG, len(cfgs))
+		for j := range cfgs {
+			rngs[j] = rng.Split(int64(i + j))
+		}
+		qos := evalScores(p, cfgs, rngs, nil)
+		fbs := make([]autotuner.Feedback, len(cfgs))
+		perfs := make([]float64, len(cfgs))
+		for j, cfg := range cfgs {
+			perfs[j] = perfOf(cfg)
+			fbs[j] = autotuner.Feedback{QoS: qos[j], Perf: perfs[j]}
+		}
+		tuner.ReportBatch(cfgs, fbs)
+		for j, cfg := range cfgs {
+			st.RawConfigs++
+			if qos[j] > o.QoSMin {
+				key := cfg.Key(nOps)
+				if !seen[key] {
+					seen[key] = true
+					candidates = append(candidates, pareto.Point{QoS: qos[j], Perf: perfs[j], Config: cfg.Clone()})
+				}
 			}
 		}
-		i++
+		i += len(cfgs)
 	}
 	st.Iterations = tuner.Iterations()
 	st.Candidates = len(candidates)
@@ -266,6 +311,20 @@ func EmpiricalTune(p Program, o Options) (*Result, error) {
 
 	curve := pareto.NewRelaxedCurve(p.Name(), baseQoS, final)
 	return &Result{Curve: curve, Stats: st}, nil
+}
+
+// evalScores runs p once per (config, rng) pair — concurrently when the
+// host allows — and returns the Calib QoS of each run in index order. The
+// rngs must be split off their parent sequentially before the call: each
+// evaluation then depends only on its own pair, so the scores are
+// independent of worker count and evaluation interleaving.
+func evalScores(p Program, cfgs []approx.Config, rngs []*tensor.RNG, sp *obs.Span) []float64 {
+	qos := make([]float64, len(cfgs))
+	parallel.For(len(cfgs), func(i int) {
+		out := runTraced(p, cfgs[i], Calib, rngs[i], sp)
+		qos[i] = p.Score(Calib, out)
+	})
+	return qos
 }
 
 // newSearchTuner builds the search engine with the options' bounds.

@@ -114,18 +114,29 @@ func RefineCurve(p Program, devCurve *pareto.Curve, o InstallOptions) (*InstallR
 	var pts []pareto.Point
 	var st InstallStats
 	rsp := root.Child("refine").With("curve_points", len(devCurve.Points))
+	// Split an RNG only for device-supported points, in curve order — the
+	// exact draw sequence of the sequential loop — then re-measure them
+	// concurrently.
+	var keep []int
+	var cfgs []approx.Config
+	var rngs []*tensor.RNG
 	for i, pt := range devCurve.Points {
 		if !deviceSupports(o.Device, pt.Config) {
 			continue
 		}
-		out := runTraced(p, pt.Config, Calib, rng.Split(int64(i)), rsp)
-		realQoS := p.Score(Calib, out)
+		keep = append(keep, i)
+		cfgs = append(cfgs, pt.Config)
+		rngs = append(rngs, rng.Split(int64(i)))
+	}
+	qos := evalScores(p, cfgs, rngs, rsp)
+	for j, i := range keep {
+		pt := devCurve.Points[i]
 		st.RawConfigs++
-		if realQoS <= o.QoSMin {
+		if qos[j] <= o.QoSMin {
 			continue
 		}
 		perf := measurePerf(p, o.Device, o.Objective, pt.Config)
-		pts = append(pts, pareto.Point{QoS: realQoS, Perf: perf, Config: pt.Config})
+		pts = append(pts, pareto.Point{QoS: qos[j], Perf: perf, Config: pt.Config})
 	}
 	st.Validated = len(pts)
 	rsp.With("validated", st.Validated).End()
@@ -377,11 +388,18 @@ func predictiveSearchSpan(p Program, profiles *predictor.Profiles, o InstallOpti
 	prob := problemFor(p, pol)
 	csp := parent.Child("calibrate")
 	calibRng := tensor.NewRNG(o.Seed + 400)
+	calCfgs := make([]approx.Config, o.NCalibrate)
+	calRngs := make([]*tensor.RNG, o.NCalibrate)
+	for i := range calCfgs {
+		// Config draw and Split advance the parent RNG; keep the sequential
+		// loop's exact interleaving before fanning the runs out.
+		calCfgs[i] = randomConfig(prob, calibRng)
+		calRngs[i] = calibRng.Split(int64(i))
+	}
+	calQoS := evalScores(p, calCfgs, calRngs, csp)
 	samples := make([]predictor.Sample, 0, o.NCalibrate)
-	for i := 0; i < o.NCalibrate; i++ {
-		cfg := randomConfig(prob, calibRng)
-		out := runTraced(p, cfg, Calib, calibRng.Split(int64(i)), csp)
-		samples = append(samples, predictor.Sample{Cfg: cfg, QoS: p.Score(Calib, out)})
+	for i, cfg := range calCfgs {
+		samples = append(samples, predictor.Sample{Cfg: cfg, QoS: calQoS[i]})
 	}
 	st.Alpha = qp.Calibrate(samples)
 	csp.With("samples", len(samples)).With("alpha", st.Alpha).End()

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -159,6 +160,13 @@ func (l *Loader) parseDir(dir string, withTests bool) (files []*ast.File, names 
 			continue
 		}
 		if !withTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Respect build constraints (//go:build lines and _GOOS/_GOARCH
+		// filename suffixes) the way the compiler does, so a package with
+		// per-arch implementations type-checks as one coherent unit
+		// instead of tripping over "redeclared" symbols.
+		if ok, merr := build.Default.MatchFile(dir, name); merr != nil || !ok {
 			continue
 		}
 		full := filepath.Join(dir, name)

@@ -28,3 +28,37 @@ func CopyAlias(buf, tmp []float32) {
 	copy(tmp, buf) // want tensoralias
 	copy(buf, tmp) // want tensoralias
 }
+
+// PackPanels mirrors the GEMM engine's B-packing: reads the b matrix,
+// writes the packed panel buffer — distinct parameters, clean.
+func PackPanels(b, packed []float32, k, n, nr int) {
+	np := n / nr
+	for jp := 0; jp < np; jp++ {
+		for l := 0; l < k; l++ {
+			for j := 0; j < nr; j++ {
+				packed[(jp*k+l)*nr+j] = b[l*n+jp*nr+j]
+			}
+		}
+	}
+}
+
+// PackInPlace transposes a panel buffer into itself: the packed write
+// aliases the unpacked read and clobbers elements it has yet to read —
+// flagged.
+func PackInPlace(panel []float32, k, nr int) {
+	for l := 0; l < k; l++ {
+		for j := 0; j < nr; j++ {
+			panel[l*nr+j] = panel[j*k+l] // want tensoralias
+		}
+	}
+}
+
+// MicroTile accumulates an A-row × packed-panel product into the C rows:
+// compound assignment into the output, plain reads of the inputs — clean.
+func MicroTile(arow, panel, crow []float32, nr int) {
+	for l, av := range arow {
+		for j := 0; j < nr; j++ {
+			crow[j] += av * panel[l*nr+j]
+		}
+	}
+}

@@ -2,12 +2,49 @@
 // tensor kernels are built on. Work is chunked across GOMAXPROCS workers;
 // on a single-core host the loops degrade gracefully to sequential
 // execution with negligible overhead.
+//
+// All loops draw extra workers from one process-wide token pool sized at
+// GOMAXPROCS-1. The calling goroutine always executes the final chunk
+// itself (saving one goroutine spawn + handoff per call on the hottest
+// dispatch path), and a loop that finds the pool empty — typically because
+// it is nested inside another parallel loop, e.g. a tensor kernel invoked
+// from a batched config evaluation — runs its remaining chunks inline
+// instead of spawning. Nested parallelism therefore cannot multiply worker
+// counts: the process never runs more than ~GOMAXPROCS compute goroutines
+// regardless of nesting depth.
 package parallel
 
 import (
 	"runtime"
 	"sync"
 )
+
+// workerTokens is the process-wide pool of spawnable extra workers. The
+// calling goroutine of every loop counts as one worker, so the pool holds
+// GOMAXPROCS-1 tokens (empty on a single-core host). Sized once at
+// startup; later GOMAXPROCS changes only affect per-call chunk counts.
+var workerTokens = func() chan struct{} {
+	n := runtime.GOMAXPROCS(0) - 1
+	if n < 0 {
+		n = 0
+	}
+	ch := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		ch <- struct{}{}
+	}
+	return ch
+}()
+
+// Workers returns the target parallel width of this process (GOMAXPROCS),
+// the natural batch size for concurrent config evaluation.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// Serial reports whether the loop helpers would run everything on the
+// calling goroutine anyway (single-proc process). Hot kernels branch on it
+// to call their loop body directly: a closure passed to For/ForChunked
+// escapes to the heap at every call site, and on the GEMM dispatch path
+// that is one allocation per call.
+func Serial() bool { return runtime.GOMAXPROCS(0) <= 1 }
 
 // For runs fn(i) for every i in [0,n), splitting the index space into
 // contiguous chunks executed by up to GOMAXPROCS goroutines. It returns
@@ -23,7 +60,11 @@ func For(n int, fn func(i int)) {
 
 // ForChunked runs fn(lo,hi) over a partition of [0,n) into contiguous
 // half-open chunks, one chunk per worker. Chunking amortizes dispatch
-// overhead when the per-index work is small.
+// overhead when the per-index work is small. The final chunk always runs
+// on the calling goroutine; earlier chunks are spawned only while the
+// worker-token pool has capacity and run inline otherwise, so nested
+// ForChunked calls degrade to sequential execution instead of multiplying
+// goroutines.
 func ForChunked(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -36,19 +77,26 @@ func ForChunked(n int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	var wg sync.WaitGroup
+	lo := 0
+	for ; lo+chunk < n; lo += chunk {
+		select {
+		case <-workerTokens:
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer func() {
+					workerTokens <- struct{}{}
+					wg.Done()
+				}()
+				fn(lo, hi)
+			}(lo, lo+chunk)
+		default:
+			// Pool exhausted (nested loop or saturated host): run inline.
+			fn(lo, lo+chunk)
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
 	}
+	fn(lo, n)
 	wg.Wait()
 }
 

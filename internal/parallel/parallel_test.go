@@ -54,6 +54,86 @@ func TestMapOrdering(t *testing.T) {
 	}
 }
 
+func TestForChunkedRunsWithDrainedTokenPool(t *testing.T) {
+	// Drain the worker-token pool to simulate a fully saturated host (the
+	// state every nested loop observes). ForChunked must fall back to
+	// inline execution — covering all indices, never blocking.
+	var drained []struct{}
+	for {
+		select {
+		case tok := <-workerTokens:
+			_ = tok
+			drained = append(drained, struct{}{})
+			continue
+		default:
+		}
+		break
+	}
+	defer func() {
+		for range drained {
+			workerTokens <- struct{}{}
+		}
+	}()
+	const n = 257
+	var hits [n]int32
+	ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d executed %d times with drained pool, want exactly once", i, h)
+		}
+	}
+}
+
+func TestTokenPoolRestoredAfterLoops(t *testing.T) {
+	for r := 0; r < 50; r++ {
+		For(64, func(i int) {})
+	}
+	if got, want := len(workerTokens), cap(workerTokens); got != want {
+		t.Fatalf("worker-token pool leaked: %d of %d tokens after loops", got, want)
+	}
+}
+
+func TestNestedParallelismBounded(t *testing.T) {
+	// A loop nested inside another loop must not multiply worker counts:
+	// total concurrently-running chunk bodies stay within the caller count
+	// plus the token pool, not outer×inner.
+	bound := int32(2*runtime.GOMAXPROCS(0) + 1)
+	var cur, peak int32
+	enter := func() {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+	}
+	For(32, func(i int) {
+		enter()
+		For(32, func(j int) {
+			enter()
+			atomic.AddInt32(&cur, -1)
+		})
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > bound {
+		t.Fatalf("nested loops reached %d concurrent bodies, bound %d", peak, bound)
+	}
+	if got, want := len(workerTokens), cap(workerTokens); got != want {
+		t.Fatalf("worker-token pool leaked: %d of %d tokens", got, want)
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", Workers())
+	}
+}
+
 func TestForUsesMultipleGoroutinesWhenAvailable(t *testing.T) {
 	if runtime.GOMAXPROCS(0) < 2 {
 		t.Skip("single-proc host: parallel dispatch degenerates to sequential")

@@ -1,0 +1,63 @@
+package tensor
+
+import "testing"
+
+func TestScratchLengthAndClass(t *testing.T) {
+	for _, n := range []int{1, 7, 63, 64, 65, 1000, 4096, 100000} {
+		buf := Scratch(n)
+		if len(buf) != n {
+			t.Fatalf("Scratch(%d) has len %d", n, len(buf))
+		}
+		if c := cap(buf); c&(c-1) != 0 {
+			t.Fatalf("Scratch(%d) cap %d not a power of two", n, c)
+		}
+		Release(buf)
+	}
+	if Scratch(0) != nil || Scratch(-3) != nil {
+		t.Fatal("non-positive Scratch must return nil")
+	}
+}
+
+func TestScratchReusesReleasedBuffer(t *testing.T) {
+	// Same size class round-trip: the released buffer must come back.
+	// sync.Pool may drop entries under GC pressure, so retry a few times
+	// rather than asserting on a single round-trip.
+	reused := false
+	for try := 0; try < 10 && !reused; try++ {
+		a := Scratch(1 << 10)
+		a[0] = 42
+		p := &a[0]
+		Release(a)
+		b := Scratch(1 << 10)
+		if &b[0] == p {
+			reused = true
+		}
+		Release(b)
+	}
+	if !reused {
+		t.Error("pool never reused a released buffer")
+	}
+}
+
+func TestReleaseForeignBufferIsDropped(t *testing.T) {
+	// Odd-capacity buffers (not from Scratch) must not poison the arenas.
+	Release(make([]float32, 100, 100))
+	buf := Scratch(100)
+	if c := cap(buf); c&(c-1) != 0 {
+		t.Fatalf("arena returned non-power-of-two cap %d", c)
+	}
+	Release(buf)
+	Release(nil)
+}
+
+func TestPoolClassBounds(t *testing.T) {
+	if c := poolClass(1 << 30); c != -1 {
+		t.Fatalf("oversized request got class %d, want -1", c)
+	}
+	if c := poolClass(1); c != minPoolClass {
+		t.Fatalf("tiny request got class %d, want %d", c, minPoolClass)
+	}
+	if c := poolClass(1 << maxPoolClass); c != maxPoolClass {
+		t.Fatalf("max request got class %d, want %d", c, maxPoolClass)
+	}
+}

@@ -10,8 +10,12 @@ import (
 // on (exact conv, the approximate variants, GEMM, FP16 quantization).
 
 func benchInput(c, h, w int) (*tensor.Tensor, *tensor.Tensor) {
+	return benchInputN(4, c, h, w)
+}
+
+func benchInputN(n, c, h, w int) (*tensor.Tensor, *tensor.Tensor) {
 	g := tensor.NewRNG(1)
-	x := tensor.New(4, c, h, w)
+	x := tensor.New(n, c, h, w)
 	g.FillNormal(x, 0, 1)
 	wt := tensor.New(2*c, c, 3, 3)
 	g.FillHe(wt, c*9)
@@ -38,6 +42,20 @@ func BenchmarkConv2DFP16(b *testing.B) {
 	}
 }
 
+// BenchmarkConv2DExactBatch64 has the shape profile of a calibration run
+// (one conv over a whole calibration batch). With the scratch pool the
+// allocation count stays flat in batch size; the pre-pool engine allocated
+// one im2col column matrix per image.
+func BenchmarkConv2DExactBatch64(b *testing.B) {
+	x, w := benchInputN(64, 8, 32, 32)
+	p := ConvParams{PadH: 1, PadW: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2D(x, w, p, FP32)
+	}
+}
+
 func BenchmarkConv2DFilterSampling50(b *testing.B) {
 	x, w := benchInput(8, 32, 32)
 	p := ConvParams{PadH: 1, PadW: 1}
@@ -58,25 +76,76 @@ func BenchmarkConv2DPerforated50(b *testing.B) {
 	}
 }
 
-func BenchmarkGemm(b *testing.B) {
+func benchGemmOperands(m, k, n int) (a, bb, c []float32) {
 	g := tensor.NewRNG(2)
-	m, k, n := 64, 256, 256
-	a := make([]float32, m*k)
-	bb := make([]float32, k*n)
-	c := make([]float32, m*n)
+	a = make([]float32, m*k)
+	bb = make([]float32, k*n)
+	c = make([]float32, m*n)
 	for i := range a {
 		a[i] = float32(g.NormFloat64())
 	}
 	for i := range bb {
 		bb[i] = float32(g.NormFloat64())
 	}
+	return a, bb, c
+}
+
+func BenchmarkGemm(b *testing.B) {
+	m, k, n := 256, 256, 256
+	a, bb, c := benchGemmOperands(m, k, n)
 	b.SetBytes(int64(4 * (m*k + k*n + m*n)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j := range c {
 			c[j] = 0
 		}
 		Gemm(a, bb, c, m, k, n)
+	}
+}
+
+// BenchmarkGemmReference measures the pre-blocking naive kernel (kept in
+// gemm_test.go as the differential reference) on the same shape, so the
+// blocked engine's speedup is visible in a single benchmark run.
+func BenchmarkGemmReference(b *testing.B) {
+	m, k, n := 256, 256, 256
+	a, bb, c := benchGemmOperands(m, k, n)
+	b.SetBytes(int64(4 * (m*k + k*n + m*n)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range c {
+			c[j] = 0
+		}
+		gemmRef(a, bb, c, m, k, n)
+	}
+}
+
+func BenchmarkConv2DGrouped(b *testing.B) {
+	g := tensor.NewRNG(5)
+	x := tensor.New(4, 16, 32, 32)
+	g.FillNormal(x, 0, 1)
+	wt := tensor.New(32, 4, 3, 3)
+	g.FillHe(wt, 4*9)
+	p := ConvParams{Groups: 4, PadH: 1, PadW: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2D(x, wt, p, FP32)
+	}
+}
+
+func BenchmarkConv2DDepthwise(b *testing.B) {
+	g := tensor.NewRNG(6)
+	x := tensor.New(4, 32, 32, 32)
+	g.FillNormal(x, 0, 1)
+	wt := tensor.New(32, 1, 3, 3)
+	g.FillHe(wt, 9)
+	p := ConvParams{Groups: 32, PadH: 1, PadW: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2D(x, wt, p, FP32)
 	}
 }
 

@@ -66,8 +66,12 @@ func convolve(x, w *tensor.Tensor, p ConvParams, prec Precision, perf *perfSpec,
 
 	xd, wdat := x.Data(), w.Data()
 	if prec == FP16 {
-		xd = quantizedCopy(xd)
-		wdat = quantizedCopy(wdat)
+		xq := quantizedScratch(xd)
+		defer tensor.Release(xq)
+		xd = xq
+		wq := quantizedScratch(wdat)
+		defer tensor.Release(wq)
+		wdat = wq
 	}
 
 	out := tensor.New(n, co, ho, wo)
@@ -78,14 +82,17 @@ func convolve(x, w *tensor.Tensor, p ConvParams, prec Precision, perf *perfSpec,
 
 	// im2col per (image, group): cols is (kvol × ho*wo), weights for the
 	// group form a (cog × kvol) matrix; their product is the output block.
+	// The column matrix comes from the scratch pool — im2col fully
+	// overwrites it, so the unspecified-contents contract holds.
 	parallel.For(n, func(img int) {
-		cols := make([]float32, kvol*ho*wo)
+		cols := tensor.Scratch(kvol * ho * wo)
 		for grp := 0; grp < g; grp++ {
 			im2col(xd, cols, img, grp, ci, cig, h, wd, kh, kw, ho, wo, p)
 			wblock := wdat[grp*cog*kvol : (grp+1)*cog*kvol]
 			oblock := od[(img*co+grp*cog)*ho*wo : (img*co+(grp+1)*cog)*ho*wo]
 			Gemm(wblock, cols, oblock, cog, kvol, ho*wo)
 		}
+		tensor.Release(cols)
 	})
 
 	if perf != nil {

@@ -35,52 +35,320 @@ func (p Precision) String() string {
 	return "fp32"
 }
 
+// GEMM engine geometry. B is packed once per call into row-panels of
+// gemmNR contiguous columns; the inner kernel computes a gemmMR×gemmNR
+// micro-tile of C with every output element accumulating in a register
+// over the full K extent, in ascending-l order. That order is exactly the
+// reference triple loop's, so for a zeroed C the blocked kernel is
+// bit-identical to the naive kernel (the differential tests pin this).
+const (
+	gemmMR = 4 // micro-tile rows (rows of A per inner kernel)
+	gemmNR = 4 // micro-tile columns (panel width)
+)
+
 // Gemm computes C = A·B for row-major A (m×k), B (k×n), C (m×n).
 // C must be zeroed by the caller if pure assignment is wanted; Gemm
 // accumulates into C.
 func Gemm(a, b, c []float32, m, k, n int) {
-	parallel.ForChunked(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a[i*k : (i+1)*k]
-			crow := c[i*n : (i+1)*n]
-			for l, av := range arow {
-				//lint:ignore floateq sparsity fast path: exactly-zero activations contribute nothing
-				if av == 0 {
-					continue
-				}
-				brow := b[l*n : (l+1)*n]
-				for j, bv := range brow {
-					crow[j] += av * bv
+	gemmEngine(a, b, c, m, k, n, false)
+}
+
+// gemmEngine is the shared blocked kernel. When quantB is set, B's
+// elements pass through FP16 quantization as they are packed (fusing the
+// former full-tensor quantizedCopy pass into the pack step); A and C are
+// used as given.
+func gemmEngine(a, b, c []float32, m, k, n int, quantB bool) {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return
+	}
+	if m < gemmMR {
+		// Too few rows to amortize packing (depthwise convolution reaches
+		// here with m == 1): stream B rows directly, saxpy style.
+		if parallel.Serial() {
+			gemmSaxpyRows(0, m, a, b, c, k, n, quantB)
+		} else {
+			parallel.ForChunked(m, func(lo, hi int) {
+				gemmSaxpyRows(lo, hi, a, b, c, k, n, quantB)
+			})
+		}
+		return
+	}
+	np := n / gemmNR // number of full B panels
+	if np == 0 {
+		// Too narrow for a panel: plain per-element accumulation.
+		if parallel.Serial() {
+			gemmTailRows(0, m, a, b, c, k, n, quantB)
+		} else {
+			parallel.ForChunked(m, func(lo, hi int) {
+				gemmTailRows(lo, hi, a, b, c, k, n, quantB)
+			})
+		}
+		return
+	}
+	packed := tensor.Scratch(np * k * gemmNR)
+	nBlocks := (m + gemmMR - 1) / gemmMR
+	if parallel.Serial() {
+		packRange(0, np, b, packed, k, n, quantB)
+		gemmBlockRange(0, nBlocks, a, b, c, packed, m, k, n, np, quantB)
+	} else {
+		parallel.ForChunked(np, func(plo, phi int) {
+			packRange(plo, phi, b, packed, k, n, quantB)
+		})
+		parallel.ForChunked(nBlocks, func(blo, bhi int) {
+			gemmBlockRange(blo, bhi, a, b, c, packed, m, k, n, np, quantB)
+		})
+	}
+	tensor.Release(packed)
+}
+
+// gemmSaxpyRows runs gemmSaxpyRow over C rows [lo,hi).
+func gemmSaxpyRows(lo, hi int, a, b, c []float32, k, n int, quantB bool) {
+	for i := lo; i < hi; i++ {
+		gemmSaxpyRow(a[i*k:(i+1)*k], b, c[i*n:(i+1)*n], n, quantB)
+	}
+}
+
+// gemmTailRows runs gemmTailRow over whole C rows [lo,hi).
+func gemmTailRows(lo, hi int, a, b, c []float32, k, n int, quantB bool) {
+	for i := lo; i < hi; i++ {
+		gemmTailRow(a[i*k:(i+1)*k], b, c[i*n:(i+1)*n], n, 0, quantB)
+	}
+}
+
+// gemmBlockRange computes the row blocks [blo,bhi) of the blocked kernel:
+// full gemmMR-row blocks go through the 4×4 micro-tile, remainder rows
+// through the 1×4 edge kernel, and the sub-panel tail columns through the
+// strided tail kernel.
+func gemmBlockRange(blo, bhi int, a, b, c, packed []float32, m, k, n, np int, quantB bool) {
+	jTail := np * gemmNR
+	for ib := blo; ib < bhi; ib++ {
+		i0 := ib * gemmMR
+		rows := m - i0
+		if rows > gemmMR {
+			rows = gemmMR
+		}
+		if rows == gemmMR {
+			a0 := a[i0*k : (i0+1)*k]
+			a1 := a[(i0+1)*k : (i0+2)*k]
+			a2 := a[(i0+2)*k : (i0+3)*k]
+			a3 := a[(i0+3)*k : (i0+4)*k]
+			c0 := c[i0*n : (i0+1)*n]
+			c1 := c[(i0+1)*n : (i0+2)*n]
+			c2 := c[(i0+2)*n : (i0+3)*n]
+			c3 := c[(i0+3)*n : (i0+4)*n]
+			for jp := 0; jp < np; jp++ {
+				panel := packed[jp*k*gemmNR : (jp+1)*k*gemmNR]
+				j0 := jp * gemmNR
+				microTile4(a0, a1, a2, a3, panel,
+					c0[j0:j0+gemmNR], c1[j0:j0+gemmNR], c2[j0:j0+gemmNR], c3[j0:j0+gemmNR])
+			}
+		} else {
+			for r := 0; r < rows; r++ {
+				arow := a[(i0+r)*k : (i0+r+1)*k]
+				crow := c[(i0+r)*n : (i0+r+1)*n]
+				for jp := 0; jp < np; jp++ {
+					j0 := jp * gemmNR
+					microKernel1(arow, packed[jp*k*gemmNR:(jp+1)*k*gemmNR], crow[j0:j0+gemmNR])
 				}
 			}
 		}
-	})
+		for r := 0; r < rows; r++ {
+			gemmTailRow(a[(i0+r)*k:(i0+r+1)*k], b, c[(i0+r)*n:(i0+r+1)*n], n, jTail, quantB)
+		}
+	}
+}
+
+// packRange copies B panels [plo,phi) into the packed layout
+// packed[(jp*k+l)*gemmNR+j] = B[l][jp*gemmNR+j]: np contiguous panels of
+// gemmNR columns each. The packed layout turns the micro-kernel's B
+// accesses into a single forward stream and is read gemmMR rows at a time,
+// so each B element is loaded from memory m/gemmMR times instead of m
+// times. With quantB the copy quantizes through FP16 in the same pass.
+func packRange(plo, phi int, b, packed []float32, k, n int, quantB bool) {
+	for jp := plo; jp < phi; jp++ {
+		j0 := jp * gemmNR
+		dst := packed[jp*k*gemmNR : (jp+1)*k*gemmNR]
+		for l := 0; l < k; l++ {
+			src := b[l*n+j0 : l*n+j0+gemmNR]
+			d := dst[l*gemmNR : l*gemmNR+gemmNR]
+			if quantB {
+				d[0] = tensor.QuantizeFP16(src[0])
+				d[1] = tensor.QuantizeFP16(src[1])
+				d[2] = tensor.QuantizeFP16(src[2])
+				d[3] = tensor.QuantizeFP16(src[3])
+			} else {
+				d[0] = src[0]
+				d[1] = src[1]
+				d[2] = src[2]
+				d[3] = src[3]
+			}
+		}
+	}
+}
+
+// microKernel4 accumulates the 4×4 micro-tile C[r][j] += Σ_l A[r][l]·P[l][j]
+// over the full K extent with all sixteen outputs held in scalar
+// accumulators. The a slices are the four A rows (equal length k); panel is
+// the packed B panel (k×gemmNR); c0..c3 are the four gemmNR-wide C row
+// segments. It is the portable implementation behind microTile4 — on amd64
+// the SSE2 kernel in gemm_amd64.s runs instead, computing the same
+// operation sequence per output element.
+func microKernel4(a0, a1, a2, a3, panel []float32, c0, c1, c2, c3 []float32) {
+	kc := len(a0)
+	a1 = a1[:kc]
+	a2 = a2[:kc]
+	a3 = a3[:kc]
+	panel = panel[: kc*gemmNR : kc*gemmNR]
+	var s00, s01, s02, s03 float32
+	var s10, s11, s12, s13 float32
+	var s20, s21, s22, s23 float32
+	var s30, s31, s32, s33 float32
+	for l := 0; l < kc; l++ {
+		v0, v1, v2, v3 := a0[l], a1[l], a2[l], a3[l]
+		//lint:ignore floateq panel-level sparsity fast path: filter sampling zeroes the same flattened positions in every filter, so whole A columns vanish and contribute nothing
+		if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+			continue
+		}
+		pi := l * gemmNR
+		p := panel[pi : pi+gemmNR]
+		b0, b1, b2, b3 := p[0], p[1], p[2], p[3]
+		s00 += v0 * b0
+		s01 += v0 * b1
+		s02 += v0 * b2
+		s03 += v0 * b3
+		s10 += v1 * b0
+		s11 += v1 * b1
+		s12 += v1 * b2
+		s13 += v1 * b3
+		s20 += v2 * b0
+		s21 += v2 * b1
+		s22 += v2 * b2
+		s23 += v2 * b3
+		s30 += v3 * b0
+		s31 += v3 * b1
+		s32 += v3 * b2
+		s33 += v3 * b3
+	}
+	c0[0] += s00
+	c0[1] += s01
+	c0[2] += s02
+	c0[3] += s03
+	c1[0] += s10
+	c1[1] += s11
+	c1[2] += s12
+	c1[3] += s13
+	c2[0] += s20
+	c2[1] += s21
+	c2[2] += s22
+	c2[3] += s23
+	c3[0] += s30
+	c3[1] += s31
+	c3[2] += s32
+	c3[3] += s33
+}
+
+// microKernel1 is the 1×4 edge kernel for the up-to-three leftover rows of
+// an M remainder block, with the per-element zero skip of the original
+// kernel (ReLU-sparse activations in MatMul remainders benefit).
+func microKernel1(arow, panel []float32, crow []float32) {
+	kc := len(arow)
+	panel = panel[: kc*gemmNR : kc*gemmNR]
+	var s0, s1, s2, s3 float32
+	for l := 0; l < kc; l++ {
+		v := arow[l]
+		//lint:ignore floateq sparsity fast path: exactly-zero activations contribute nothing
+		if v == 0 {
+			continue
+		}
+		pi := l * gemmNR
+		p := panel[pi : pi+gemmNR]
+		s0 += v * p[0]
+		s1 += v * p[1]
+		s2 += v * p[2]
+		s3 += v * p[3]
+	}
+	crow[0] += s0
+	crow[1] += s1
+	crow[2] += s2
+	crow[3] += s3
+}
+
+// gemmTailRow accumulates crow[j] += Σ_l arow[l]·B[l][j] for the unpacked
+// tail columns j in [j0,n) — at most gemmNR-1 of them, read with stride n
+// straight from B. With quantB each B element is quantized on access,
+// which matches the packed path's pack-time quantization bit for bit.
+func gemmTailRow(arow, b, crow []float32, n, j0 int, quantB bool) {
+	for j := j0; j < n; j++ {
+		var s float32
+		bi := j
+		for _, av := range arow {
+			//lint:ignore floateq sparsity fast path: exactly-zero activations contribute nothing
+			if av != 0 {
+				bv := b[bi]
+				if quantB {
+					bv = tensor.QuantizeFP16(bv)
+				}
+				s += av * bv
+			}
+			bi += n
+		}
+		crow[j] += s
+	}
+}
+
+// gemmSaxpyRow computes one C row by streaming whole B rows (the shape of
+// the pre-blocking kernel), used when m < gemmMR and packing B would cost
+// as much as the multiply itself. Each crow[j] accumulates in ascending-l
+// order, so the result is bit-identical to the packed path's. With quantB
+// each B element is quantized on access.
+func gemmSaxpyRow(arow, b, crow []float32, n int, quantB bool) {
+	for l, av := range arow {
+		//lint:ignore floateq sparsity fast path: exactly-zero activations contribute nothing
+		if av == 0 {
+			continue
+		}
+		brow := b[l*n : (l+1)*n]
+		if quantB {
+			for j, bv := range brow {
+				crow[j] += av * tensor.QuantizeFP16(bv)
+			}
+		} else {
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
 }
 
 // MatMul multiplies x (n×k) by the transpose-free weight w (k×m), returning
 // an (n×m) tensor. It is the fully-connected / dense operator. With FP16
-// precision the operands and result are quantized through half precision.
+// precision the operands and result are quantized through half precision:
+// the input through a pooled scratch copy, the weight during the GEMM pack
+// step (no separate full-tensor pass).
 func MatMul(x, w *tensor.Tensor, prec Precision) *tensor.Tensor {
 	n, k := x.Dim(0), x.Elems()/x.Dim(0)
 	if w.Rank() != 2 || w.Dim(0) != k {
 		panicShape("MatMul", "weight shape %v incompatible with input inner dim %d", w.Shape(), k)
 	}
 	m := w.Dim(1)
-	xd, wd := x.Data(), w.Data()
+	xd := x.Data()
 	if prec == FP16 {
-		xd = quantizedCopy(xd)
-		wd = quantizedCopy(wd)
+		q := quantizedScratch(xd)
+		defer tensor.Release(q)
+		xd = q
 	}
 	out := tensor.New(n, m)
-	Gemm(xd, wd, out.Data(), n, k, m)
+	gemmEngine(xd, w.Data(), out.Data(), n, k, m, prec == FP16)
 	if prec == FP16 {
 		out.ToFP16()
 	}
 	return out
 }
 
-func quantizedCopy(d []float32) []float32 {
-	q := make([]float32, len(d))
+// quantizedScratch returns a pooled buffer holding d quantized through
+// FP16. The caller must tensor.Release it when the kernel is done.
+func quantizedScratch(d []float32) []float32 {
+	q := tensor.Scratch(len(d))
 	for i, v := range d {
 		q[i] = tensor.QuantizeFP16(v)
 	}

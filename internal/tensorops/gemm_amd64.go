@@ -1,0 +1,19 @@
+package tensorops
+
+// microKernel4SSE is the SSE2 micro-kernel in gemm_amd64.s. The slices
+// behind the pointers must hold at least kc elements (kc*gemmNR for panel)
+// and gemmNR elements for the C rows.
+//
+//go:noescape
+func microKernel4SSE(a0, a1, a2, a3, panel, c0, c1, c2, c3 *float32, kc int)
+
+// microTile4 dispatches the 4×4 tile update to the vector kernel. The pure
+// Go microKernel4 stays compiled on every platform as the reference the
+// portable tests pin against.
+func microTile4(a0, a1, a2, a3, panel []float32, c0, c1, c2, c3 []float32) {
+	kc := len(a0)
+	if kc == 0 {
+		return
+	}
+	microKernel4SSE(&a0[0], &a1[0], &a2[0], &a3[0], &panel[0], &c0[0], &c1[0], &c2[0], &c3[0], kc)
+}

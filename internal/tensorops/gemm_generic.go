@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package tensorops
+
+// microTile4 falls back to the portable micro-kernel on platforms without
+// an assembly implementation.
+func microTile4(a0, a1, a2, a3, panel []float32, c0, c1, c2, c3 []float32) {
+	microKernel4(a0, a1, a2, a3, panel, c0, c1, c2, c3)
+}

@@ -1,0 +1,286 @@
+package tensorops
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// gemmRef is the pre-blocking reference kernel (the naive triple loop with
+// the per-element zero skip) the blocked engine is pinned against. Each
+// output element accumulates left-to-right over l, the exact order the
+// micro-kernels preserve, so for a zeroed C the blocked kernel must be
+// bit-identical.
+func gemmRef(a, b, c []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for l, av := range arow {
+			//lint:ignore floateq reference kernel mirrors the engine's sparsity skip
+			if av == 0 {
+				continue
+			}
+			brow := b[l*n : (l+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+func fillNormal(g *tensor.RNG, d []float32) {
+	for i := range d {
+		d[i] = float32(g.NormFloat64())
+	}
+}
+
+// gemmShapes is the differential grid: odd, prime, power-of-two and
+// just-past-power-of-two extents exercise every edge path (M remainder
+// rows, N tail columns, sub-panel matrices).
+var gemmShapes = []int{1, 3, 7, 17, 64, 129}
+
+func TestGemmMatchesReferenceExactly(t *testing.T) {
+	g := tensor.NewRNG(11)
+	for _, m := range gemmShapes {
+		for _, k := range gemmShapes {
+			for _, n := range gemmShapes {
+				a := make([]float32, m*k)
+				b := make([]float32, k*n)
+				fillNormal(g, a)
+				fillNormal(g, b)
+				got := make([]float32, m*n)
+				want := make([]float32, m*n)
+				Gemm(a, b, got, m, k, n)
+				gemmRef(a, b, want, m, k, n)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("m=%d k=%d n=%d: C[%d] = %v, reference %v (must be bit-identical into zeroed C)",
+							m, k, n, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGemmSparseAMatchesReference(t *testing.T) {
+	// Filter-sampling-style sparsity: the same flattened positions zeroed
+	// in every row of A, which the panel-level fast path skips whole.
+	g := tensor.NewRNG(12)
+	for _, stride := range []int{2, 3, 4} {
+		m, k, n := 9, 35, 21
+		a := make([]float32, m*k)
+		b := make([]float32, k*n)
+		fillNormal(g, a)
+		fillNormal(g, b)
+		for i := 0; i < m; i++ {
+			for l := 0; l < k; l++ {
+				if l%stride == 0 {
+					a[i*k+l] = 0
+				}
+			}
+		}
+		got := make([]float32, m*n)
+		want := make([]float32, m*n)
+		Gemm(a, b, got, m, k, n)
+		gemmRef(a, b, want, m, k, n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("stride=%d: C[%d] = %v, reference %v", stride, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGemmAccumulatesIntoNonZeroC(t *testing.T) {
+	// With a pre-filled C the engine computes c + (t0+t1+…) while the
+	// reference computes ((c+t0)+t1)+…; equal within rounding tolerance.
+	g := tensor.NewRNG(13)
+	m, k, n := 17, 29, 23
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	fillNormal(g, a)
+	fillNormal(g, b)
+	got := make([]float32, m*n)
+	want := make([]float32, m*n)
+	fillNormal(g, got)
+	copy(want, got)
+	Gemm(a, b, got, m, k, n)
+	gemmRef(a, b, want, m, k, n)
+	for i := range want {
+		d := float64(got[i]) - float64(want[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > 1e-5 {
+			t.Fatalf("C[%d] = %v, reference %v (|Δ| %v > 1e-5)", i, got[i], want[i], d)
+		}
+	}
+}
+
+func TestGemmEngineQuantBMatchesQuantizedReference(t *testing.T) {
+	// Pack-time FP16 quantization of B must equal the former separate
+	// quantizedCopy pass bit for bit, on both the packed panels and the
+	// strided tail columns.
+	g := tensor.NewRNG(14)
+	for _, n := range []int{3, 7, 16, 129} {
+		m, k := 13, 37
+		a := make([]float32, m*k)
+		b := make([]float32, k*n)
+		fillNormal(g, a)
+		fillNormal(g, b)
+		bq := make([]float32, len(b))
+		for i, v := range b {
+			bq[i] = tensor.QuantizeFP16(v)
+		}
+		got := make([]float32, m*n)
+		want := make([]float32, m*n)
+		gemmEngine(a, b, got, m, k, n, true)
+		gemmRef(a, bq, want, m, k, n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: C[%d] = %v, reference %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPortableMicroKernelsMatchReference(t *testing.T) {
+	// On amd64 Gemm dispatches to the SSE2 micro-kernel, so the portable
+	// Go micro-kernels are exercised directly here: a 4×4 tile via
+	// microKernel4 and a 1×4 row via microKernel1 against the reference.
+	g := tensor.NewRNG(18)
+	k := 33
+	a := make([]float32, gemmMR*k)
+	b := make([]float32, k*gemmNR)
+	fillNormal(g, a)
+	fillNormal(g, b)
+	for i := 0; i < gemmMR; i++ { // sprinkle zeros to hit the skip paths
+		a[i*k+5] = 0
+		a[i*k+17] = 0
+	}
+	packed := make([]float32, k*gemmNR)
+	packRange(0, 1, b, packed, k, gemmNR, false)
+	want := make([]float32, gemmMR*gemmNR)
+	gemmRef(a, b, want, gemmMR, k, gemmNR)
+
+	got := make([]float32, gemmMR*gemmNR)
+	microKernel4(a[:k], a[k:2*k], a[2*k:3*k], a[3*k:4*k], packed,
+		got[0:4], got[4:8], got[8:12], got[12:16])
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("microKernel4: C[%d] = %v, reference %v", i, got[i], want[i])
+		}
+	}
+
+	got1 := make([]float32, gemmNR)
+	microKernel1(a[:k], packed, got1)
+	for i := range got1 {
+		if got1[i] != want[i] {
+			t.Fatalf("microKernel1: C[%d] = %v, reference %v", i, got1[i], want[i])
+		}
+	}
+}
+
+func TestGemmDegenerateDims(t *testing.T) {
+	c := []float32{5}
+	Gemm(nil, nil, c, 1, 0, 1) // k=0: C unchanged
+	if c[0] != 5 {
+		t.Fatalf("k=0 Gemm mutated C: %v", c[0])
+	}
+	Gemm(nil, nil, nil, 0, 3, 0) // empty: no panic
+}
+
+// naiveConv32 is a float32-accumulation direct convolution whose reduction
+// order (channel → kernel row → kernel column, ascending) matches the
+// im2col+GEMM engine's flattened-l order, making the comparison exact.
+func naiveConv32(x, w *tensor.Tensor, p ConvParams) *tensor.Tensor {
+	p = p.Norm()
+	n, h, wd := x.Dim(0), x.Dim(2), x.Dim(3)
+	co, cig, kh, kw := w.Dim(0), w.Dim(1), w.Dim(2), w.Dim(3)
+	g := p.Groups
+	cog := co / g
+	ho := tensor.ConvOutDim(h, kh, p.StrideH, p.PadH)
+	wo := tensor.ConvOutDim(wd, kw, p.StrideW, p.PadW)
+	out := tensor.New(n, co, ho, wo)
+	for img := 0; img < n; img++ {
+		for oc := 0; oc < co; oc++ {
+			grp := oc / cog
+			for oy := 0; oy < ho; oy++ {
+				for ox := 0; ox < wo; ox++ {
+					var acc float32
+					for c := 0; c < cig; c++ {
+						ic := grp*cig + c
+						for ky := 0; ky < kh; ky++ {
+							iy := oy*p.StrideH - p.PadH + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < kw; kx++ {
+								ix := ox*p.StrideW - p.PadW + kx
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								acc += x.At(img, ic, iy, ix) * w.At(oc, c, ky, kx)
+							}
+						}
+					}
+					out.Set(acc, img, oc, oy, ox)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestConvGroupedDepthwiseMatchesFloat32Naive(t *testing.T) {
+	g := tensor.NewRNG(15)
+	cases := []struct {
+		n, ci, h, w int
+		co, kh, kw  int
+		p           ConvParams
+	}{
+		{2, 4, 9, 9, 8, 3, 3, ConvParams{Groups: 2, PadH: 1, PadW: 1}},
+		{1, 6, 7, 11, 6, 3, 3, ConvParams{Groups: 6, PadH: 1, PadW: 1}},                          // depthwise
+		{2, 8, 13, 13, 8, 3, 3, ConvParams{Groups: 8, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}}, // strided depthwise
+		{1, 9, 17, 5, 18, 5, 1, ConvParams{Groups: 3, PadH: 2}},
+	}
+	for ci, tc := range cases {
+		t.Run(fmt.Sprintf("case%d", ci), func(t *testing.T) {
+			x := randTensor(g, tc.n, tc.ci, tc.h, tc.w)
+			w := randTensor(g, tc.co, tc.ci/tc.p.Norm().Groups, tc.kh, tc.kw)
+			got := Conv2D(x, w, tc.p, FP32)
+			want := naiveConv32(x, w, tc.p)
+			if d := tensor.MaxAbsDiff(got, want); d > 1e-5 {
+				t.Fatalf("max abs diff %v > 1e-5 vs float32 naive conv", d)
+			}
+		})
+	}
+}
+
+func TestConvFP16MatchesQuantizedNaive(t *testing.T) {
+	g := tensor.NewRNG(16)
+	x := randTensor(g, 2, 3, 9, 9)
+	w := randTensor(g, 4, 3, 3, 3)
+	p := ConvParams{PadH: 1, PadW: 1}
+	got := Conv2D(x, w, p, FP16)
+	want := naiveConv32(x.CloneFP16(), w.CloneFP16(), p).ToFP16()
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-5 {
+		t.Fatalf("FP16 conv max abs diff %v > 1e-5 vs quantized float32 naive conv", d)
+	}
+}
+
+func TestMatMulFP16MatchesQuantizedReference(t *testing.T) {
+	g := tensor.NewRNG(17)
+	n, k, m := 5, 19, 11
+	x := randTensor(g, n, k)
+	w := randTensor(g, k, m)
+	got := MatMul(x, w, FP16)
+	want := tensor.New(n, m)
+	gemmRef(x.CloneFP16().Data(), w.CloneFP16().Data(), want.Data(), n, k, m)
+	want.ToFP16()
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-5 {
+		t.Fatalf("FP16 MatMul max abs diff %v > 1e-5", d)
+	}
+}

@@ -162,7 +162,9 @@ func poolSampled(x *tensor.Tensor, p PoolParams, prec Precision, avg bool, num, 
 	wo := tensor.ConvOutDim(w, p.KW, p.StrideW, p.PadW)
 	xd := x.Data()
 	if prec == FP16 {
-		xd = quantizedCopy(xd)
+		q := quantizedScratch(xd)
+		defer tensor.Release(q)
+		xd = q
 	}
 	out := tensor.New(n, c, ho, wo)
 	od := out.Data()
@@ -326,7 +328,9 @@ func Reduce(x *tensor.Tensor, kind ReduceKind, num, den int, prec Precision) *te
 	spatial := x.Dim(2) * x.Dim(3)
 	xd := x.Data()
 	if prec == FP16 {
-		xd = quantizedCopy(xd)
+		q := quantizedScratch(xd)
+		defer tensor.Release(q)
+		xd = q
 	}
 	out := tensor.New(n, c)
 	od := out.Data()
