@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet lint build test race bench bench-smoke
+.PHONY: ci fmt-check vet lint build test race chaos bench bench-smoke
 
 ci: fmt-check vet lint build race
 
@@ -17,7 +17,7 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis (cmd/approxlint): six go/ast+go/types
+# Project-specific static analysis (cmd/approxlint): seven go/ast+go/types
 # analyzers over the source tree, then the domain validators over the knob
 # registry and the model-zoo graphs.
 lint:
@@ -34,6 +34,13 @@ test:
 # detector it needs more than the default 10m per-package timeout.
 race:
 	$(GO) test -race -timeout 45m ./...
+
+# Fault-injection suite for the distributed install-time protocol: seeded
+# chaos schedules (edge crashes, flaky transport, no-shows) plus the
+# zero-fault bit-determinism pin. `-short` trims to one seed and drops
+# the slowest scenario.
+chaos:
+	$(GO) test -race -v -run 'TestChaos|TestEdgeRunHonorsContext' ./internal/distrib
 
 # Kernel benchmarks (full benchtime) plus one pass of the end-to-end
 # per-figure experiment benchmarks, with allocation stats, parsed into

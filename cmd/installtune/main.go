@@ -8,19 +8,30 @@
 //
 //	installtune -benchmark alexnet2 -device gpu -objective energy -edges 8
 //
+// With -http the distributed phase runs over a loopback HTTP
+// coordinator and a real edge-client fleet (the internal/distrib
+// transport) instead of the in-process simulation; -lease-ttl,
+// -req-timeout and -retries tune its fault-tolerance knobs.
+//
 // Observability: -trace out.jsonl exports a JSONL span trace of the run,
 // -metrics-addr :8090 serves live /metrics and /debug/pprof, and -v / -q
 // adjust progress verbosity.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	approxtuner "repro"
+	"repro/internal/distrib"
 	"repro/internal/models"
 	"repro/internal/obs"
 )
@@ -37,6 +48,11 @@ func main() {
 		iters     = flag.Int("iters", 3000, "search iteration cap")
 		out       = flag.String("o", "", "write the final curve JSON to this file (default stdout)")
 		seed      = flag.Int64("seed", 1, "seed")
+
+		httpMode   = flag.Bool("http", false, "run the distributed phase over a loopback HTTP coordinator + edge fleet")
+		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "HTTP mode: edge liveness lease before work is reassigned")
+		reqTimeout = flag.Duration("req-timeout", 10*time.Second, "HTTP mode: per-request timeout on the edge client")
+		retries    = flag.Int("retries", 4, "HTTP mode: retries per request (exponential backoff)")
 	)
 	oc := obs.RegisterFlags(nil)
 	flag.Parse()
@@ -83,24 +99,43 @@ func main() {
 	if strings.ToLower(*objective) == "energy" {
 		obj = approxtuner.MinimizeEnergy
 	}
-	logger.Infof("install-time tuning on %s (%s objective, %d edge devices)...\n",
-		dev.Name, obj, *edges)
-	inst, err := app.TuneInstallTime(devRes, dev, spec, obj, *edges)
-	if err != nil {
-		log.Fatalf("installtune: %v", err)
+	var curve *approxtuner.Curve
+	if *httpMode {
+		if devRes.Profiles == nil {
+			log.Fatalf("installtune: -http needs development-time profiles (predictive path)")
+		}
+		opts := app.InstallOptionsFor(dev, spec, obj, *edges)
+		opts.LeaseTTL = *leaseTTL
+		opts.RequestTimeout = *reqTimeout
+		opts.MaxRetries = *retries
+		logger.Infof("install-time tuning on %s over loopback HTTP (%s objective, %d edges, lease %v)...\n",
+			dev.Name, obj, *edges, *leaseTTL)
+		curve, err = runDistributed(app, devRes, dev, opts, *seed)
+		if err != nil {
+			log.Fatalf("installtune: %v", err)
+		}
+		logger.Infof("final curve: %d points\n", curve.Len())
+	} else {
+		logger.Infof("install-time tuning on %s (%s objective, %d edge devices)...\n",
+			dev.Name, obj, *edges)
+		inst, err := app.TuneInstallTime(devRes, dev, spec, obj, *edges)
+		if err != nil {
+			log.Fatalf("installtune: %v", err)
+		}
+		curve = inst.Curve
+		logger.Infof(
+			"final curve: %d points; edge profile phase %v, server tuning %v\n",
+			inst.Curve.Len(),
+			inst.Stats.EdgeProfileTime.Round(1e6), inst.Stats.ServerTuneTime.Round(1e6))
+		logger.Verbosef("validation: %d configs per edge, %d survived, total %v\n",
+			inst.Stats.ValidatePerEdge, inst.Stats.Validated, inst.Stats.Total.Round(1e6))
 	}
-	logger.Infof(
-		"final curve: %d points; edge profile phase %v, server tuning %v\n",
-		inst.Curve.Len(),
-		inst.Stats.EdgeProfileTime.Round(1e6), inst.Stats.ServerTuneTime.Round(1e6))
-	logger.Verbosef("validation: %d configs per edge, %d survived, total %v\n",
-		inst.Stats.ValidatePerEdge, inst.Stats.Validated, inst.Stats.Total.Round(1e6))
-	if pt, ok := inst.Curve.Best(app.BaselineQoS - *loss); ok {
+	if pt, ok := curve.Best(app.BaselineQoS - *loss); ok {
 		logger.Infof("best: %s → %.2fx (%s)\n",
 			approxtuner.DescribeConfig(pt.Config), pt.Perf, obj)
 	}
 
-	data, err := approxtuner.SaveCurve(inst.Curve)
+	data, err := approxtuner.SaveCurve(curve)
 	if err != nil {
 		log.Fatalf("installtune: %v", err)
 	}
@@ -112,4 +147,46 @@ func main() {
 		log.Fatalf("installtune: %v", err)
 	}
 	logger.Infof("curve written to %s\n", *out)
+}
+
+// runDistributed executes the install-time distributed phase over a real
+// loopback HTTP transport: a coordinator served on 127.0.0.1 and one edge
+// client goroutine per fleet member, all sharing the same options (and
+// therefore the same lease/retry discipline the flags configured).
+func runDistributed(app *approxtuner.App, devRes *approxtuner.Result, dev *approxtuner.Device, opts approxtuner.InstallOptions, seed int64) (*approxtuner.Curve, error) {
+	coord, err := distrib.NewCoordinator(app.Program(), devRes.Profiles, opts)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	baseURL := "http://" + ln.Addr().String()
+
+	ctx := context.Background()
+	errs := make([]error, opts.NEdge)
+	var wg sync.WaitGroup
+	for i := 0; i < opts.NEdge; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := distrib.NewEdge(i, baseURL, app.Program(), dev, seed, opts)
+			_, errs[i] = e.Run(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("edge %d: %w", i, err)
+		}
+	}
+	final, ok := coord.FinalCurve()
+	if !ok {
+		return nil, fmt.Errorf("coordinator did not produce a final curve")
+	}
+	return final, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/approx"
@@ -348,6 +349,51 @@ func TestRuntimeTunerEnforceUnreachableTarget(t *testing.T) {
 	if rt.CurrentPoint().Perf != 1.5 {
 		t.Errorf("should degrade to the fastest available point, got %v", rt.CurrentPoint().Perf)
 	}
+}
+
+// TestRuntimeTunerConcurrentUse exercises the documented concurrency
+// contract under the race detector: a monitor goroutine feeding
+// RecordInvocation while worker goroutines read Current/CurrentPoint/
+// Switches and one closes the tuner at the end.
+func TestRuntimeTunerConcurrentUse(t *testing.T) {
+	curve := pareto.NewCurve("x", 90, []pareto.Point{
+		{QoS: 90, Perf: 1.0, Config: approx.Config{}},
+		{QoS: 88.5, Perf: 1.4, Config: approx.Config{0: 1}},
+		{QoS: 87, Perf: 1.9, Config: approx.Config{0: 10}},
+	})
+	rt, err := NewRuntimeTuner(curve, PolicyAverage, 0.1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			// Alternate slow and fast invocations so switches happen.
+			if i%2 == 0 {
+				rt.RecordInvocation(0.15)
+			} else {
+				rt.RecordInvocation(0.05)
+			}
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				_ = rt.Current()
+				if pt := rt.CurrentPoint(); pt.Perf < 1.0 || pt.Perf > 1.9 {
+					t.Errorf("current point off the curve: %v", pt.Perf)
+					return
+				}
+				_ = rt.Switches()
+			}
+		}()
+	}
+	wg.Wait()
+	rt.Close()
 }
 
 func TestRuntimeTunerValidation(t *testing.T) {

@@ -53,12 +53,42 @@ type InstallOptions struct {
 	// NEdge is the number of edge devices participating in distributed
 	// tuning (the paper emulates 100).
 	NEdge int
+	// LeaseTTL is how long an edge may stay silent before the network
+	// coordinator (internal/distrib) declares it dead and reassigns its
+	// shard/slice to a live edge (default 30s). The in-process simulated
+	// fleet ignores it.
+	LeaseTTL time.Duration
+	// RequestTimeout bounds each edge HTTP request (default 10s).
+	RequestTimeout time.Duration
+	// MaxRetries is the per-request retry budget of the edge client
+	// (default 4).
+	MaxRetries int
+	// RetryBase is the first retry backoff delay; it doubles per retry
+	// with seeded jitter (default 50ms).
+	RetryBase time.Duration
 }
+
+// Norm returns o with every unset field replaced by its documented
+// default — the normalization InstallTune applies internally, exported
+// for transports (internal/distrib) that drive SearchShortlist directly.
+func (o InstallOptions) Norm() InstallOptions { return o.norm() }
 
 func (o InstallOptions) norm() InstallOptions {
 	o.Options = o.Options.norm()
 	if o.NEdge == 0 {
 		o.NEdge = 4
+	}
+	if o.LeaseTTL == 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 4
+	}
+	if o.RetryBase == 0 {
+		o.RetryBase = 50 * time.Millisecond
 	}
 	return o
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/approx"
 	"repro/internal/obs"
@@ -44,7 +45,9 @@ func (p Policy) String() string {
 // performance target under changing system conditions. It consumes the
 // final tradeoff curve shipped with the binary; switching configurations
 // is just switching numerical parameters of the tensor ops, so the
-// overhead is negligible (§5).
+// overhead is negligible (§5). A tuner is safe for concurrent use: the
+// monitor thread may feed RecordInvocation while worker threads read
+// Current/CurrentPoint.
 type RuntimeTuner struct {
 	curve      *pareto.Curve
 	policy     Policy
@@ -52,6 +55,7 @@ type RuntimeTuner struct {
 	window     int     // sliding window length (invocations)
 	rng        *tensor.RNG
 
+	mu      sync.Mutex
 	times   []float64 // recent invocation times
 	current pareto.Point
 	// requiredPerf is the speedup (relative to the exact baseline) the
@@ -92,19 +96,33 @@ func NewRuntimeTuner(curve *pareto.Curve, policy Policy, targetTime float64, win
 // invocation and switch counts. Safe to call multiple times and on
 // tuners created while tracing was disabled.
 func (rt *RuntimeTuner) Close() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	rt.span.With("invocations", rt.invocations).With("switches", rt.switches).End()
 }
 
 // Current returns the configuration to use for the next invocation. Under
 // PolicyAverage this may alternate probabilistically between the two
 // bracketing points.
-func (rt *RuntimeTuner) Current() approx.Config { return rt.current.Config }
+func (rt *RuntimeTuner) Current() approx.Config {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.current.Config
+}
 
 // CurrentPoint returns the active tradeoff point.
-func (rt *RuntimeTuner) CurrentPoint() pareto.Point { return rt.current }
+func (rt *RuntimeTuner) CurrentPoint() pareto.Point {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.current
+}
 
 // Switches counts configuration changes so far.
-func (rt *RuntimeTuner) Switches() int { return rt.switches }
+func (rt *RuntimeTuner) Switches() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.switches
+}
 
 // RecordInvocation feeds one invocation's measured execution time to the
 // system monitor. When the sliding-window average falls below the target,
@@ -112,6 +130,8 @@ func (rt *RuntimeTuner) Switches() int { return rt.switches }
 // (§5); it also relaxes back toward less-approximate configurations when
 // the system speeds up again.
 func (rt *RuntimeTuner) RecordInvocation(execTime float64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	rt.invocations++
 	mRtInvocations.Inc()
 	if execTime > rt.targetTime {

@@ -16,23 +16,33 @@
 //     the shortlist, and uploads its local Pareto set (POST /v1/validated);
 //  4. the coordinator unions the per-edge Pareto sets into the final
 //     curve, which edges fetch with GET /v1/curve.
+//
+// Fault model: edges crash, restart, and sit behind lossy links. Every
+// registration carries a liveness lease that is renewed by any request
+// from that edge; when a lease expires before the edge's profile or
+// validation upload, the coordinator re-offers the orphaned work unit to
+// the next live edge that polls, so the fleet converges with any subset
+// of survivors. Uploads carry attempt tokens and are applied
+// first-write-wins, making retried and duplicated POSTs idempotent. The
+// edge client (edge.go) retries with seeded exponential backoff, bounds
+// every request with a timeout, and threads a context through both poll
+// loops so nothing can spin forever. With zero faults the protocol's
+// final curve is bit-identical to the fault-oblivious one: the same
+// shard seeds, merge order, and slice-union order are preserved.
 package distrib
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
-	"repro/internal/approx"
 	"repro/internal/core"
-	"repro/internal/device"
 	"repro/internal/pareto"
 	"repro/internal/predictor"
-	"repro/internal/tensor"
 )
 
 // Coordinator is the central server of the protocol. It owns the full
@@ -43,14 +53,36 @@ type Coordinator struct {
 	devProfs *predictor.Profiles
 	opts     core.InstallOptions
 
-	mu         sync.Mutex
-	registered int
-	shards     map[int]*predictor.Profiles // edgeID → uploaded profiles
-	shortlist  []pareto.Point
-	searchErr  error
-	searched   bool
-	validated  map[int][]pareto.Point // edgeID → local Pareto set
-	final      *pareto.Curve
+	// Now is the coordinator's clock; tests may inject a fake. Nil means
+	// time.Now. Set before serving, not after.
+	Now func() time.Time
+
+	mu        sync.Mutex
+	started   time.Time                   // first registration; anchors no-show expiry
+	edges     map[int]*edgeLease          // edgeID → liveness lease
+	seen      map[string]bool             // applied idempotency tokens
+	profWork  map[int]*workItem           // shardID → profile-collection work
+	valWork   map[int]*workItem           // sliceID → validation work (exists once searched)
+	shards    map[int]*predictor.Profiles // shardID → uploaded profiles
+	shortlist []pareto.Point
+	searchErr error
+	searched  bool
+	validated map[int][]pareto.Point // sliceID → local Pareto set
+	final     *pareto.Curve
+}
+
+// edgeLease tracks one edge's liveness.
+type edgeLease struct {
+	expires time.Time
+	epoch   int  // incremented when the edge re-registers after expiry
+	expired bool // lease expiry already observed (metric fires once)
+}
+
+// workItem is one reassignable unit of edge work: a profile shard or a
+// validation slice. owner is the edge currently responsible for it.
+type workItem struct {
+	owner int
+	done  bool
 }
 
 // NewCoordinator builds a coordinator for nEdge devices (set in
@@ -59,6 +91,10 @@ func NewCoordinator(p core.Program, devProfiles *predictor.Profiles, opts core.I
 	if opts.NEdge <= 0 {
 		opts.NEdge = 4
 	}
+	// Unset search/robustness knobs take their documented defaults here,
+	// so the handlers never feed zero values (e.g. MaxConfigs) into the
+	// server-side search.
+	opts = opts.Norm()
 	if _, ok := p.(core.Sharder); !ok && opts.NEdge > 1 {
 		return nil, fmt.Errorf("distrib: program %q cannot shard for %d edges", p.Name(), opts.NEdge)
 	}
@@ -66,15 +102,37 @@ func NewCoordinator(p core.Program, devProfiles *predictor.Profiles, opts core.I
 		prog:      p,
 		devProfs:  devProfiles,
 		opts:      opts,
+		edges:     make(map[int]*edgeLease),
+		seen:      make(map[string]bool),
+		profWork:  make(map[int]*workItem),
+		valWork:   make(map[int]*workItem),
 		shards:    make(map[int]*predictor.Profiles),
 		validated: make(map[int][]pareto.Point),
 	}, nil
+}
+
+func (c *Coordinator) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now()
+}
+
+func (c *Coordinator) leaseTTL() time.Duration {
+	if c.opts.LeaseTTL > 0 {
+		return c.opts.LeaseTTL
+	}
+	return 30 * time.Second
 }
 
 // Wire types.
 
 type registerReq struct {
 	EdgeID int `json:"edge_id"`
+	// Attempt is the edge's logical-operation token: retries of the same
+	// registration reuse it, so the coordinator can tell a retransmit from
+	// a fresh registration.
+	Attempt int `json:"attempt,omitempty"`
 }
 
 type registerResp struct {
@@ -82,11 +140,28 @@ type registerResp struct {
 	Hi        int  `json:"hi"`
 	NEdge     int  `json:"n_edge"`
 	AllowFP16 bool `json:"allow_fp16"`
+	// Epoch counts the edge's registrations after lease expiry (0 for the
+	// first incarnation).
+	Epoch int `json:"epoch,omitempty"`
+	// LeaseMillis tells the edge how long it may stay silent before the
+	// coordinator declares it dead and reassigns its work.
+	LeaseMillis int64 `json:"lease_ms,omitempty"`
 }
 
 type profilesReq struct {
-	EdgeID   int             `json:"edge_id"`
+	EdgeID int `json:"edge_id"`
+	// Shard is the profile shard the payload covers; nil means the edge's
+	// own shard (wire compatibility with fault-oblivious clients).
+	Shard    *int            `json:"shard,omitempty"`
+	Attempt  int             `json:"attempt,omitempty"`
 	Profiles json.RawMessage `json:"profiles"`
+}
+
+// shardOffer re-offers an orphaned profile shard to a live edge.
+type shardOffer struct {
+	Shard int `json:"shard"`
+	Lo    int `json:"lo"`
+	Hi    int `json:"hi"`
 }
 
 type assignmentsResp struct {
@@ -94,16 +169,34 @@ type assignmentsResp struct {
 	Configs []pareto.Point `json:"configs"` // QoS/Perf are server predictions
 	QoSMin  float64        `json:"qos_min"`
 	Obj     core.Objective `json:"objective"`
+	// Reprofile, when set on a not-ready response, asks the polling edge
+	// to collect profiles for a dead edge's shard.
+	Reprofile *shardOffer `json:"reprofile,omitempty"`
 }
 
 type validatedReq struct {
-	EdgeID int            `json:"edge_id"`
-	Points []pareto.Point `json:"points"`
+	EdgeID int `json:"edge_id"`
+	// Slice is the shortlist slice the points validate; nil means the
+	// edge's own slice.
+	Slice   *int           `json:"slice,omitempty"`
+	Attempt int            `json:"attempt,omitempty"`
+	Points  []pareto.Point `json:"points"`
+}
+
+// sliceOffer re-offers an orphaned validation slice to a live edge.
+type sliceOffer struct {
+	Slice   int            `json:"slice"`
+	Configs []pareto.Point `json:"configs"`
+	QoSMin  float64        `json:"qos_min"`
+	Obj     core.Objective `json:"objective"`
 }
 
 type curveResp struct {
 	Ready bool            `json:"ready"`
 	Curve json.RawMessage `json:"curve,omitempty"`
+	// Revalidate, when set on a not-ready response, asks the polling edge
+	// to validate a dead edge's shortlist slice.
+	Revalidate *sliceOffer `json:"revalidate,omitempty"`
 }
 
 // Handler returns the coordinator's HTTP API.
@@ -131,19 +224,58 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		n = sh.NumCalib()
 	}
 	c.mu.Lock()
-	c.registered++
+	now := c.now()
+	if c.started.IsZero() {
+		c.started = now
+	}
+	key := tokenKey("register", req.EdgeID, req.EdgeID, req.Attempt)
+	dup := c.seen[key]
+	c.seen[key] = true
+	st := c.edges[req.EdgeID]
+	switch {
+	case st == nil:
+		st = &edgeLease{}
+		c.edges[req.EdgeID] = st
+	case dup:
+		// Retransmitted registration: renew the lease, same epoch.
+		mDupRequests.Inc()
+	case now.After(st.expires):
+		// A fresh registration after expiry: the edge restarted.
+		st.epoch++
+		st.expired = false
+		mReRegistrations.Inc()
+	}
+	st.expires = now.Add(c.leaseTTL())
+	if c.profWork[req.EdgeID] == nil {
+		c.profWork[req.EdgeID] = &workItem{owner: req.EdgeID}
+	}
+	epoch := st.epoch
 	c.mu.Unlock()
 	writeJSON(w, registerResp{
-		Lo:        req.EdgeID * n / c.opts.NEdge,
-		Hi:        (req.EdgeID + 1) * n / c.opts.NEdge,
-		NEdge:     c.opts.NEdge,
-		AllowFP16: c.opts.Policy.AllowFP16,
+		Lo:          req.EdgeID * n / c.opts.NEdge,
+		Hi:          (req.EdgeID + 1) * n / c.opts.NEdge,
+		NEdge:       c.opts.NEdge,
+		AllowFP16:   c.opts.Policy.AllowFP16,
+		Epoch:       epoch,
+		LeaseMillis: c.leaseTTL().Milliseconds(),
 	})
 }
 
 func (c *Coordinator) handleProfiles(w http.ResponseWriter, r *http.Request) {
 	var req profilesReq
 	if !decode(w, r, &req) {
+		return
+	}
+	if req.EdgeID < 0 || req.EdgeID >= c.opts.NEdge {
+		http.Error(w, fmt.Sprintf("edge id %d out of range [0,%d)", req.EdgeID, c.opts.NEdge), http.StatusBadRequest)
+		return
+	}
+	shard := req.EdgeID
+	if req.Shard != nil {
+		shard = *req.Shard
+	}
+	if shard < 0 || shard >= c.opts.NEdge {
+		http.Error(w, fmt.Sprintf("shard %d out of range [0,%d)", shard, c.opts.NEdge), http.StatusBadRequest)
 		return
 	}
 	profs, err := predictor.UnmarshalProfiles(req.Profiles)
@@ -153,44 +285,101 @@ func (c *Coordinator) handleProfiles(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.shards[req.EdgeID] = profs
-	if len(c.shards) == c.opts.NEdge && !c.searched {
+	c.touchLocked(req.EdgeID)
+	key := tokenKey("profiles", req.EdgeID, shard, req.Attempt)
+	if c.seen[key] {
+		// Duplicate delivery of an already-applied upload (retry after a
+		// lost response, or a duplicated request on the wire).
+		mDupRequests.Inc()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	c.seen[key] = true
+	if _, ok := c.shards[shard]; ok {
+		// The shard was already filled — by this edge's earlier attempt or
+		// by a reassignment race. First write wins.
+		mRedundantUploads.Inc()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	c.shards[shard] = profs
+	if wi := c.profWork[shard]; wi != nil {
+		wi.done = true
+	} else {
+		c.profWork[shard] = &workItem{owner: req.EdgeID, done: true}
+	}
+	if !c.searched && c.allShardsLocked() {
 		// All shards arrived: merge (mean ΔQ, concatenated ΔT) and run the
-		// server-side predictive search.
+		// server-side predictive search. A panicking search must become a
+		// recorded error, not a wedged fleet: the upload's attempt token is
+		// already marked applied, so retries would be absorbed as
+		// duplicates and the edges would poll a never-ready coordinator
+		// forever.
 		ordered := make([]*predictor.Profiles, 0, c.opts.NEdge)
 		for e := 0; e < c.opts.NEdge; e++ {
 			ordered = append(ordered, c.shards[e])
 		}
-		hw := predictor.Merge(ordered)
-		combined := core.CombineProfiles(c.devProfs, hw)
-		c.shortlist, _, c.searchErr = core.SearchShortlist(c.prog, combined, c.opts)
-		c.searched = true
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					c.searchErr = fmt.Errorf("distrib: server-side search panicked: %v", r)
+				}
+				c.searched = true
+			}()
+			hw := predictor.Merge(ordered)
+			combined := core.CombineProfiles(c.devProfs, hw)
+			c.shortlist, _, c.searchErr = core.SearchShortlist(c.prog, combined, c.opts)
+		}()
+		if c.searchErr == nil {
+			for s := 0; s < c.opts.NEdge; s++ {
+				c.valWork[s] = &workItem{owner: s}
+			}
+		}
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (c *Coordinator) handleAssignments(w http.ResponseWriter, r *http.Request) {
-	var edgeID int
-	if _, err := fmt.Sscan(r.URL.Query().Get("edge"), &edgeID); err != nil {
-		http.Error(w, "missing edge query parameter", http.StatusBadRequest)
+	edgeID, ok := edgeParam(w, r, c.opts.NEdge)
+	if !ok {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.touchLocked(edgeID)
 	if c.searchErr != nil {
 		http.Error(w, c.searchErr.Error(), http.StatusInternalServerError)
 		return
 	}
 	if !c.searched {
-		writeJSON(w, assignmentsResp{Ready: false})
+		resp := assignmentsResp{Ready: false}
+		if shard, ok := c.orphanShardLocked(edgeID); ok {
+			wi := c.profWork[shard]
+			if wi == nil {
+				wi = &workItem{}
+				c.profWork[shard] = wi
+			}
+			wi.owner = edgeID
+			n := 0
+			if sh, isSh := c.prog.(core.Sharder); isSh {
+				n = sh.NumCalib()
+			}
+			resp.Reprofile = &shardOffer{
+				Shard: shard,
+				Lo:    shard * n / c.opts.NEdge,
+				Hi:    (shard + 1) * n / c.opts.NEdge,
+			}
+			mReassignedShards.Inc()
+		}
+		writeJSON(w, resp)
 		return
 	}
-	// Equal-fraction scatter: edge e validates shortlist[e::nEdge].
-	var mine []pareto.Point
-	for i := edgeID; i < len(c.shortlist); i += c.opts.NEdge {
-		mine = append(mine, c.shortlist[i])
-	}
-	writeJSON(w, assignmentsResp{Ready: true, Configs: mine, QoSMin: c.opts.QoSMin, Obj: c.opts.Objective})
+	writeJSON(w, assignmentsResp{
+		Ready:   true,
+		Configs: c.sliceLocked(edgeID),
+		QoSMin:  c.opts.QoSMin,
+		Obj:     c.opts.Objective,
+	})
 }
 
 func (c *Coordinator) handleValidated(w http.ResponseWriter, r *http.Request) {
@@ -198,13 +387,41 @@ func (c *Coordinator) handleValidated(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	if req.EdgeID < 0 || req.EdgeID >= c.opts.NEdge {
+		http.Error(w, fmt.Sprintf("edge id %d out of range [0,%d)", req.EdgeID, c.opts.NEdge), http.StatusBadRequest)
+		return
+	}
+	slice := req.EdgeID
+	if req.Slice != nil {
+		slice = *req.Slice
+	}
+	if slice < 0 || slice >= c.opts.NEdge {
+		http.Error(w, fmt.Sprintf("slice %d out of range [0,%d)", slice, c.opts.NEdge), http.StatusBadRequest)
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.validated[req.EdgeID] = req.Points
-	if len(c.validated) == c.opts.NEdge && c.final == nil {
+	c.touchLocked(req.EdgeID)
+	key := tokenKey("validated", req.EdgeID, slice, req.Attempt)
+	if c.seen[key] {
+		mDupRequests.Inc()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	c.seen[key] = true
+	if _, ok := c.validated[slice]; ok {
+		mRedundantUploads.Inc()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	c.validated[slice] = req.Points
+	if wi := c.valWork[slice]; wi != nil {
+		wi.done = true
+	}
+	if c.final == nil && c.allSlicesLocked() {
 		var union []pareto.Point
-		for e := 0; e < c.opts.NEdge; e++ {
-			union = append(union, c.validated[e]...)
+		for s := 0; s < c.opts.NEdge; s++ {
+			union = append(union, c.validated[s]...)
 		}
 		c.final = pareto.NewCurve(c.prog.Name(), c.devProfs.BaseQoS, union)
 		if c.opts.Device != nil {
@@ -215,11 +432,36 @@ func (c *Coordinator) handleValidated(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleCurve(w http.ResponseWriter, r *http.Request) {
+	// The edge parameter is optional (wire compatibility): without it the
+	// response still reports curve readiness, but the caller's lease is
+	// not renewed and no orphaned work can be offered to it.
+	var resp curveResp
 	c.mu.Lock()
+	if s := r.URL.Query().Get("edge"); s != "" {
+		edgeID, err := strconv.Atoi(s)
+		if err != nil || edgeID < 0 || edgeID >= c.opts.NEdge {
+			c.mu.Unlock()
+			http.Error(w, fmt.Sprintf("bad edge query parameter %q", s), http.StatusBadRequest)
+			return
+		}
+		c.touchLocked(edgeID)
+		if c.final == nil && c.searched && c.searchErr == nil {
+			if slice, ok := c.orphanSliceLocked(edgeID); ok {
+				c.valWork[slice].owner = edgeID
+				resp.Revalidate = &sliceOffer{
+					Slice:   slice,
+					Configs: c.sliceLocked(slice),
+					QoSMin:  c.opts.QoSMin,
+					Obj:     c.opts.Objective,
+				}
+				mReassignedSlices.Inc()
+			}
+		}
+	}
 	final := c.final
 	c.mu.Unlock()
 	if final == nil {
-		writeJSON(w, curveResp{Ready: false})
+		writeJSON(w, resp)
 		return
 	}
 	data, err := final.Marshal()
@@ -227,15 +469,142 @@ func (c *Coordinator) handleCurve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, curveResp{Ready: true, Curve: data})
+	resp.Ready = true
+	resp.Curve = data
+	writeJSON(w, resp)
 }
 
-// FinalCurve returns the final tradeoff curve once all edges reported, or
+// FinalCurve returns the final tradeoff curve once all slices reported, or
 // (nil, false) while the protocol is still in flight.
 func (c *Coordinator) FinalCurve() (*pareto.Curve, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.final, c.final != nil
+}
+
+// Registered returns how many distinct edges have registered.
+func (c *Coordinator) Registered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.edges)
+}
+
+// --- locked helpers -------------------------------------------------------
+
+// touchLocked renews the lease of a registered edge. Callers hold c.mu.
+func (c *Coordinator) touchLocked(edgeID int) {
+	if st := c.edges[edgeID]; st != nil {
+		st.expires = c.now().Add(c.leaseTTL())
+	}
+}
+
+// deadLocked reports whether the owner of a work unit can be declared
+// dead: its lease expired, or it never registered and the fleet has been
+// running for longer than one lease. Callers hold c.mu.
+func (c *Coordinator) deadLocked(owner int, now time.Time) bool {
+	st := c.edges[owner]
+	if st == nil {
+		return !c.started.IsZero() && now.After(c.started.Add(c.leaseTTL()))
+	}
+	if now.After(st.expires) {
+		if !st.expired {
+			st.expired = true
+			mLeaseExpirations.Inc()
+		}
+		return true
+	}
+	return false
+}
+
+// orphanShardLocked finds the lowest-numbered profile shard whose owner
+// is dead and whose profiles have not arrived, to reassign to the polling
+// edge. Callers hold c.mu.
+func (c *Coordinator) orphanShardLocked(pollingEdge int) (int, bool) {
+	now := c.now()
+	for s := 0; s < c.opts.NEdge; s++ {
+		if _, ok := c.shards[s]; ok {
+			continue
+		}
+		wi := c.profWork[s]
+		owner := s
+		if wi != nil {
+			owner = wi.owner
+		}
+		// The polling edge owning the unit means a previous offer to it
+		// went unanswered (it only polls between work); offer it again.
+		if owner == pollingEdge || c.deadLocked(owner, now) {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// orphanSliceLocked finds the lowest-numbered validation slice whose
+// owner is dead and whose points have not arrived. Callers hold c.mu.
+func (c *Coordinator) orphanSliceLocked(pollingEdge int) (int, bool) {
+	now := c.now()
+	for s := 0; s < c.opts.NEdge; s++ {
+		if _, ok := c.validated[s]; ok {
+			continue
+		}
+		wi := c.valWork[s]
+		if wi == nil {
+			continue
+		}
+		if wi.owner == pollingEdge || c.deadLocked(wi.owner, now) {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// allShardsLocked reports whether every profile shard 0..NEdge-1 has a
+// non-nil upload. Callers hold c.mu.
+func (c *Coordinator) allShardsLocked() bool {
+	for s := 0; s < c.opts.NEdge; s++ {
+		if c.shards[s] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// allSlicesLocked reports whether every validation slice 0..NEdge-1 has
+// reported (possibly with an empty point set). Callers hold c.mu.
+func (c *Coordinator) allSlicesLocked() bool {
+	for s := 0; s < c.opts.NEdge; s++ {
+		if _, ok := c.validated[s]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// sliceLocked returns the equal-fraction scatter of the shortlist for one
+// slice: shortlist[slice::NEdge]. Callers hold c.mu.
+func (c *Coordinator) sliceLocked(slice int) []pareto.Point {
+	var mine []pareto.Point
+	for i := slice; i < len(c.shortlist); i += c.opts.NEdge {
+		mine = append(mine, c.shortlist[i])
+	}
+	return mine
+}
+
+// tokenKey builds the idempotency-token key for one applied operation.
+func tokenKey(endpoint string, edge, unit, attempt int) string {
+	return fmt.Sprintf("%s/%d/%d/%d", endpoint, edge, unit, attempt)
+}
+
+// edgeParam parses and range-checks the "edge" query parameter, writing a
+// 400 response on malformed, negative, or out-of-range values.
+func edgeParam(w http.ResponseWriter, r *http.Request, nEdge int) (int, bool) {
+	s := r.URL.Query().Get("edge")
+	id, err := strconv.Atoi(s)
+	if err != nil || id < 0 || id >= nEdge {
+		http.Error(w, fmt.Sprintf("bad edge query parameter %q", s), http.StatusBadRequest)
+		return 0, false
+	}
+	return id, true
 }
 
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -256,139 +625,4 @@ func writeJSON(w http.ResponseWriter, v any) {
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
-}
-
-// Edge is one device of the fleet: it owns the full program binary and
-// its local calibration inputs (a shard of the global set), plus a device
-// model for performance/energy measurement.
-type Edge struct {
-	ID      int
-	BaseURL string
-	Program core.Program // shardable program (same binary as the server's)
-	Device  *device.Device
-	Client  *http.Client
-	// PollInterval paces the assignment/curve polling loops (default 20ms).
-	PollInterval time.Duration
-	Seed         int64
-}
-
-func (e *Edge) client() *http.Client {
-	if e.Client != nil {
-		return e.Client
-	}
-	return http.DefaultClient
-}
-
-func (e *Edge) poll() time.Duration {
-	if e.PollInterval > 0 {
-		return e.PollInterval
-	}
-	return 20 * time.Millisecond
-}
-
-// Run executes the full edge-side protocol and returns the final curve.
-func (e *Edge) Run() (*pareto.Curve, error) {
-	// Step 1: register, get shard assignment.
-	var reg registerResp
-	if err := e.post("/v1/register", registerReq{EdgeID: e.ID}, &reg); err != nil {
-		return nil, err
-	}
-	local := e.Program
-	if sh, ok := e.Program.(core.Sharder); ok && reg.Hi > reg.Lo {
-		sp, err := sh.Shard(reg.Lo, reg.Hi)
-		if err != nil {
-			return nil, fmt.Errorf("distrib: edge %d shard: %w", e.ID, err)
-		}
-		local = sp
-	}
-
-	// Step 2: collect hardware-knob profiles on the shard and upload.
-	profs := core.CollectProfiles(local, nil, func(op int) []approx.KnobID {
-		return core.HardwareKnobsFor(local, op, reg.AllowFP16)
-	}, tensor.NewRNG(e.Seed+int64(e.ID)))
-	payload, err := profs.Marshal()
-	if err != nil {
-		return nil, err
-	}
-	if err := e.post("/v1/profiles", profilesReq{EdgeID: e.ID, Profiles: payload}, nil); err != nil {
-		return nil, err
-	}
-
-	// Step 3: poll for the validation assignment, validate, upload the
-	// local Pareto set.
-	var asn assignmentsResp
-	for {
-		if err := e.get(fmt.Sprintf("/v1/assignments?edge=%d", e.ID), &asn); err != nil {
-			return nil, err
-		}
-		if asn.Ready {
-			break
-		}
-		time.Sleep(e.poll())
-	}
-	rng := tensor.NewRNG(e.Seed + 1000 + int64(e.ID))
-	var pts []pareto.Point
-	for i, pt := range asn.Configs {
-		if e.Device != nil && !core.DeviceSupports(e.Device, pt.Config) {
-			continue
-		}
-		out := local.Run(pt.Config, core.Calib, rng.Split(int64(i)))
-		realQoS := local.Score(core.Calib, out)
-		if realQoS <= asn.QoSMin {
-			continue
-		}
-		perf := pt.Perf
-		if e.Device != nil {
-			perf = core.MeasurePerf(e.Program, e.Device, asn.Obj, pt.Config)
-		}
-		pts = append(pts, pareto.Point{QoS: realQoS, Perf: perf, Config: pt.Config})
-	}
-	if err := e.post("/v1/validated", validatedReq{EdgeID: e.ID, Points: pareto.Set(pts)}, nil); err != nil {
-		return nil, err
-	}
-
-	// Step 4: fetch the final curve.
-	for {
-		var cr curveResp
-		if err := e.get("/v1/curve", &cr); err != nil {
-			return nil, err
-		}
-		if cr.Ready {
-			return pareto.UnmarshalCurve(cr.Curve)
-		}
-		time.Sleep(e.poll())
-	}
-}
-
-func (e *Edge) post(path string, req any, resp any) error {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return err
-	}
-	r, err := e.client().Post(e.BaseURL+path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("distrib: POST %s: %w", path, err)
-	}
-	defer r.Body.Close()
-	if r.StatusCode >= 300 {
-		msg, _ := io.ReadAll(io.LimitReader(r.Body, 1024))
-		return fmt.Errorf("distrib: POST %s: %s: %s", path, r.Status, msg)
-	}
-	if resp == nil {
-		return nil
-	}
-	return json.NewDecoder(r.Body).Decode(resp)
-}
-
-func (e *Edge) get(path string, resp any) error {
-	r, err := e.client().Get(e.BaseURL + path)
-	if err != nil {
-		return fmt.Errorf("distrib: GET %s: %w", path, err)
-	}
-	defer r.Body.Close()
-	if r.StatusCode >= 300 {
-		msg, _ := io.ReadAll(io.LimitReader(r.Body, 1024))
-		return fmt.Errorf("distrib: GET %s: %s: %s", path, r.Status, msg)
-	}
-	return json.NewDecoder(r.Body).Decode(resp)
 }

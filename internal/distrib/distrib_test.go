@@ -1,9 +1,12 @@
 package distrib
 
 import (
+	"context"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/approx"
 	"repro/internal/core"
@@ -59,9 +62,9 @@ func TestFullProtocolOverHTTP(t *testing.T) {
 	srv := httptest.NewServer(coord.Handler())
 	defer srv.Close()
 
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
 	var wg sync.WaitGroup
-	curves := make([]*interface{}, 0)
-	_ = curves
 	results := make([]*errCurve, nEdge)
 	for i := 0; i < nEdge; i++ {
 		wg.Add(1)
@@ -71,7 +74,7 @@ func TestFullProtocolOverHTTP(t *testing.T) {
 				ID: i, BaseURL: srv.URL, Program: gp,
 				Device: device.NewTX2GPU(), Seed: 11,
 			}
-			c, err := e.Run()
+			c, err := e.Run(ctx)
 			results[i] = &errCurve{c, err}
 		}(i)
 	}
@@ -136,7 +139,7 @@ func TestHTTPMatchesInProcessInstallTune(t *testing.T) {
 	srv := httptest.NewServer(coord.Handler())
 	defer srv.Close()
 	e := &Edge{ID: 0, BaseURL: srv.URL, Program: gp, Device: device.NewTX2GPU(), Seed: 11}
-	viaHTTP, err := e.Run()
+	viaHTTP, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,8 +161,110 @@ func TestRegisterRejectsBadEdgeID(t *testing.T) {
 	srv := httptest.NewServer(coord.Handler())
 	defer srv.Close()
 	e := &Edge{ID: 99, BaseURL: srv.URL, Program: gp, Seed: 1}
-	if _, err := e.Run(); err == nil {
+	if _, err := e.Run(context.Background()); err == nil {
 		t.Fatal("out-of-range edge id must be rejected")
+	}
+}
+
+// TestHandlersRejectBogusIdentifiers pins the protocol-validation fixes:
+// out-of-range edge/shard/slice IDs on the upload endpoints and
+// malformed or negative edge query parameters on the poll endpoints must
+// be rejected, never silently counted toward convergence.
+func TestHandlersRejectBogusIdentifiers(t *testing.T) {
+	gp, base := buildProgram(t)
+	coord, err := NewCoordinator(gp, devProfiles(t, gp), core.InstallOptions{
+		Options: core.Options{QoSMin: base - 10, Seed: 1},
+		Device:  device.NewTX2GPU(),
+		NEdge:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	cl := srv.Client()
+
+	post := func(path, body string) int {
+		t.Helper()
+		resp, err := cl.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	get := func(path string) int {
+		t.Helper()
+		resp, err := cl.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	profs, err := devProfiles(t, gp).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		code int
+	}{
+		{"profiles edge out of range", post("/v1/profiles", `{"edge_id":7,"profiles":`+string(profs)+`}`)},
+		{"profiles negative edge", post("/v1/profiles", `{"edge_id":-1,"profiles":`+string(profs)+`}`)},
+		{"profiles shard out of range", post("/v1/profiles", `{"edge_id":0,"shard":5,"profiles":`+string(profs)+`}`)},
+		{"validated edge out of range", post("/v1/validated", `{"edge_id":9,"points":[]}`)},
+		{"validated slice out of range", post("/v1/validated", `{"edge_id":0,"slice":-2,"points":[]}`)},
+		{"assignments missing edge", get("/v1/assignments")},
+		{"assignments malformed edge", get("/v1/assignments?edge=12abc")},
+		{"assignments negative edge", get("/v1/assignments?edge=-1")},
+		{"assignments out-of-range edge", get("/v1/assignments?edge=2")},
+		{"curve malformed edge", get("/v1/curve?edge=x")},
+	}
+	for _, tc := range cases {
+		if tc.code != 400 {
+			t.Errorf("%s: got status %d, want 400", tc.name, tc.code)
+		}
+	}
+	// A bogus upload must not have created shard or slice state.
+	if got, _ := coord.FinalCurve(); got != nil {
+		t.Fatal("bogus uploads produced a final curve")
+	}
+	coord.mu.Lock()
+	if len(coord.shards) != 0 || len(coord.validated) != 0 {
+		t.Errorf("bogus uploads leaked state: %d shards, %d validated", len(coord.shards), len(coord.validated))
+	}
+	coord.mu.Unlock()
+}
+
+// TestRegisterIsIdempotent pins the registered-set fix: re-registering
+// the same edge (a legitimate retry) must not double-count.
+func TestRegisterIsIdempotent(t *testing.T) {
+	gp, base := buildProgram(t)
+	coord, err := NewCoordinator(gp, devProfiles(t, gp), core.InstallOptions{
+		Options: core.Options{QoSMin: base - 10, Seed: 1},
+		Device:  device.NewTX2GPU(),
+		NEdge:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	cl := srv.Client()
+	for i := 0; i < 3; i++ {
+		resp, err := cl.Post(srv.URL+"/v1/register", "application/json", strings.NewReader(`{"edge_id":0,"attempt":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("register retry %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if got := coord.Registered(); got != 1 {
+		t.Fatalf("3 retried registrations counted as %d edges, want 1", got)
 	}
 }
 

@@ -1,0 +1,385 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/pareto"
+	"repro/internal/tensor"
+)
+
+// Edge is one device of the fleet: it owns the full program binary and
+// its local calibration inputs (a shard of the global set), plus a device
+// model for performance/energy measurement. An Edge drives one protocol
+// run from a single goroutine.
+type Edge struct {
+	ID      int
+	BaseURL string
+	Program core.Program // shardable program (same binary as the server's)
+	Device  *device.Device
+	// Client overrides the built-in HTTP client; it should carry its own
+	// timeout. When nil a client with a per-request deadline is built.
+	Client *http.Client
+	// Transport, when Client is nil, is installed in the built-in client —
+	// the hook the fault-injection harness uses.
+	Transport http.RoundTripper
+	// PollInterval paces the assignment/curve polling loops (default 20ms).
+	PollInterval time.Duration
+	Seed         int64
+	// RequestTimeout bounds every HTTP request (default 10s).
+	RequestTimeout time.Duration
+	// MaxRetries is how many times a failed request is retried with
+	// exponential backoff before the run aborts (default 4).
+	MaxRetries int
+	// RetryBase is the first backoff delay; it doubles per retry with
+	// seeded jitter, capped at 2s (default 50ms).
+	RetryBase time.Duration
+	// Failpoints injects protocol-step crashes for chaos testing.
+	Failpoints Failpoints
+
+	httpc   *http.Client
+	rng     *tensor.RNG // backoff jitter stream (never touches tuning RNGs)
+	attempt int         // logical-operation idempotency token counter
+}
+
+// NewEdge builds an edge whose robustness knobs come from the install
+// options (the same knobs the coordinator was built with).
+func NewEdge(id int, baseURL string, p core.Program, dev *device.Device, seed int64, opts core.InstallOptions) *Edge {
+	return &Edge{
+		ID:             id,
+		BaseURL:        baseURL,
+		Program:        p,
+		Device:         dev,
+		Seed:           seed,
+		RequestTimeout: opts.RequestTimeout,
+		MaxRetries:     opts.MaxRetries,
+		RetryBase:      opts.RetryBase,
+	}
+}
+
+func (e *Edge) client() *http.Client {
+	if e.Client != nil {
+		return e.Client
+	}
+	if e.httpc == nil {
+		// Client-level timeout is a backstop; the per-request context
+		// deadline in doOnce is the operative bound.
+		e.httpc = &http.Client{
+			Timeout:   e.requestTimeout() + time.Second,
+			Transport: e.Transport,
+		}
+	}
+	return e.httpc
+}
+
+func (e *Edge) poll() time.Duration {
+	if e.PollInterval > 0 {
+		return e.PollInterval
+	}
+	return 20 * time.Millisecond
+}
+
+func (e *Edge) requestTimeout() time.Duration {
+	if e.RequestTimeout > 0 {
+		return e.RequestTimeout
+	}
+	return 10 * time.Second
+}
+
+func (e *Edge) maxRetries() int {
+	if e.MaxRetries > 0 {
+		return e.MaxRetries
+	}
+	return 4
+}
+
+func (e *Edge) retryBase() time.Duration {
+	if e.RetryBase > 0 {
+		return e.RetryBase
+	}
+	return 50 * time.Millisecond
+}
+
+func (e *Edge) nextAttempt() int {
+	e.attempt++
+	return e.attempt
+}
+
+// Run executes the full edge-side protocol and returns the final curve.
+// The context bounds the whole run, including both poll loops; cancel it
+// or set a deadline to guarantee termination when the fleet cannot
+// converge.
+func (e *Edge) Run(ctx context.Context) (*pareto.Curve, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Jitter stream for backoff only: a separate seed space keeps retry
+	// timing from perturbing the deterministic tuning streams.
+	e.rng = tensor.NewRNG(e.Seed + 9001 + int64(e.ID)*7919)
+
+	// Step 1: register, get shard assignment.
+	var reg registerResp
+	if err := e.post(ctx, "/v1/register", registerReq{EdgeID: e.ID, Attempt: e.nextAttempt()}, &reg); err != nil {
+		return nil, err
+	}
+	local := e.Program
+	if sh, ok := e.Program.(core.Sharder); ok && reg.Hi > reg.Lo {
+		sp, err := sh.Shard(reg.Lo, reg.Hi)
+		if err != nil {
+			return nil, fmt.Errorf("distrib: edge %d shard: %w", e.ID, err)
+		}
+		local = sp
+	}
+
+	// Step 2: collect hardware-knob profiles on the shard and upload.
+	if e.Failpoints.CrashBeforeProfiles {
+		return nil, fmt.Errorf("edge %d: %w before profile upload", e.ID, ErrInjectedCrash)
+	}
+	if err := e.collectAndUpload(ctx, e.ID, local, reg.AllowFP16); err != nil {
+		return nil, err
+	}
+
+	// Step 3: poll for the validation assignment — picking up orphaned
+	// profile shards of dead edges on the way — then validate and upload
+	// the local Pareto set.
+	var asn assignmentsResp
+	for {
+		// Reset before decoding: omitted JSON fields (like a reprofile
+		// offer from a previous poll) must not survive into this iteration.
+		asn = assignmentsResp{}
+		if err := e.get(ctx, fmt.Sprintf("/v1/assignments?edge=%d", e.ID), &asn); err != nil {
+			return nil, err
+		}
+		if asn.Reprofile != nil {
+			shardProg, err := e.shardProgram(asn.Reprofile.Lo, asn.Reprofile.Hi)
+			if err != nil {
+				return nil, err
+			}
+			if err := e.collectAndUpload(ctx, asn.Reprofile.Shard, shardProg, reg.AllowFP16); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if asn.Ready {
+			break
+		}
+		if err := sleepCtx(ctx, e.poll()); err != nil {
+			return nil, err
+		}
+	}
+	pts := e.validateConfigs(e.ID, asn.Configs, asn.QoSMin, asn.Obj, local)
+	if e.Failpoints.CrashBeforeValidated {
+		return nil, fmt.Errorf("edge %d: %w before validated upload", e.ID, ErrInjectedCrash)
+	}
+	slice := e.ID
+	if err := e.post(ctx, "/v1/validated", validatedReq{EdgeID: e.ID, Slice: &slice, Attempt: e.nextAttempt(), Points: pts}, nil); err != nil {
+		return nil, err
+	}
+
+	// Step 4: poll for the final curve, revalidating orphaned slices of
+	// dead edges on the way.
+	for {
+		var cr curveResp
+		if err := e.get(ctx, fmt.Sprintf("/v1/curve?edge=%d", e.ID), &cr); err != nil {
+			return nil, err
+		}
+		if cr.Revalidate != nil {
+			o := cr.Revalidate
+			pts := e.validateConfigs(o.Slice, o.Configs, o.QoSMin, o.Obj, local)
+			s := o.Slice
+			if err := e.post(ctx, "/v1/validated", validatedReq{EdgeID: e.ID, Slice: &s, Attempt: e.nextAttempt(), Points: pts}, nil); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if cr.Ready {
+			return pareto.UnmarshalCurve(cr.Curve)
+		}
+		if err := sleepCtx(ctx, e.poll()); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// shardProgram shards the edge's full program for an arbitrary
+// calibration range (used when taking over a dead edge's shard).
+func (e *Edge) shardProgram(lo, hi int) (core.Program, error) {
+	if sh, ok := e.Program.(core.Sharder); ok && hi > lo {
+		sp, err := sh.Shard(lo, hi)
+		if err != nil {
+			return nil, fmt.Errorf("distrib: edge %d shard [%d,%d): %w", e.ID, lo, hi, err)
+		}
+		return sp, nil
+	}
+	return e.Program, nil
+}
+
+// collectAndUpload collects hardware-knob profiles for one shard and
+// uploads them. The RNG is seeded by the shard number — not the edge's
+// own ID — so a survivor reproduces exactly the profiles the shard's
+// original owner would have collected (fleets share the base seed).
+func (e *Edge) collectAndUpload(ctx context.Context, shard int, local core.Program, allowFP16 bool) error {
+	profs := core.CollectProfiles(local, nil, func(op int) []approx.KnobID {
+		return core.HardwareKnobsFor(local, op, allowFP16)
+	}, tensor.NewRNG(e.Seed+int64(shard)))
+	payload, err := profs.Marshal()
+	if err != nil {
+		return err
+	}
+	s := shard
+	return e.post(ctx, "/v1/profiles", profilesReq{EdgeID: e.ID, Shard: &s, Attempt: e.nextAttempt(), Profiles: payload}, nil)
+}
+
+// validateConfigs measures real QoS (on the edge's local calibration
+// shard) and device perf/energy for one shortlist slice. The RNG is
+// seeded by the slice number so the zero-fault draw sequence matches the
+// fault-oblivious protocol exactly; skipped (device-unsupported) configs
+// do not advance the stream.
+func (e *Edge) validateConfigs(slice int, configs []pareto.Point, qosMin float64, obj core.Objective, local core.Program) []pareto.Point {
+	rng := tensor.NewRNG(e.Seed + 1000 + int64(slice))
+	var pts []pareto.Point
+	for i, pt := range configs {
+		if e.Device != nil && !core.DeviceSupports(e.Device, pt.Config) {
+			continue
+		}
+		out := local.Run(pt.Config, core.Calib, rng.Split(int64(i)))
+		realQoS := local.Score(core.Calib, out)
+		if realQoS <= qosMin {
+			continue
+		}
+		perf := pt.Perf
+		if e.Device != nil {
+			perf = core.MeasurePerf(e.Program, e.Device, obj, pt.Config)
+		}
+		pts = append(pts, pareto.Point{QoS: realQoS, Perf: perf, Config: pt.Config})
+	}
+	return pareto.Set(pts)
+}
+
+// retryableError marks transport-level failures and 5xx responses, which
+// the idempotent wire protocol makes safe to retry.
+type retryableError struct{ err error }
+
+func (r *retryableError) Error() string { return r.err.Error() }
+func (r *retryableError) Unwrap() error { return r.err }
+
+func (e *Edge) post(ctx context.Context, path string, req any, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return e.do(ctx, http.MethodPost, path, body, resp)
+}
+
+func (e *Edge) get(ctx context.Context, path string, resp any) error {
+	return e.do(ctx, http.MethodGet, path, nil, resp)
+}
+
+// do issues one request with bounded retries: transport errors and 5xx
+// responses back off exponentially (seeded jitter) and retry; 4xx and
+// decode errors are permanent.
+func (e *Edge) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	for try := 0; ; try++ {
+		if try > 0 {
+			mClientRetries.Inc()
+			if err := sleepCtx(ctx, e.backoff(try)); err != nil {
+				return fmt.Errorf("distrib: %s %s: %w (last error: %v)", method, path, err, lastErr)
+			}
+		}
+		err := e.doOnce(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		var re *retryableError
+		if !errors.As(err, &re) {
+			return err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return fmt.Errorf("distrib: %s %s: %w (last error: %v)", method, path, ctx.Err(), lastErr)
+		}
+		if try >= e.maxRetries() {
+			return fmt.Errorf("distrib: %s %s: %d retries exhausted: %w", method, path, e.maxRetries(), lastErr)
+		}
+	}
+}
+
+func (e *Edge) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+	rctx, cancel := context.WithTimeout(ctx, e.requestTimeout())
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(rctx, method, e.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	r, err := e.client().Do(req)
+	if err != nil {
+		if isTimeout(err) {
+			mClientTimeouts.Inc()
+		}
+		return &retryableError{fmt.Errorf("distrib: %s %s: %w", method, path, err)}
+	}
+	defer r.Body.Close()
+	if r.StatusCode >= 500 {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 1024))
+		return &retryableError{fmt.Errorf("distrib: %s %s: %s: %s", method, path, r.Status, msg)}
+	}
+	if r.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 1024))
+		return fmt.Errorf("distrib: %s %s: %s: %s", method, path, r.Status, msg)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, r.Body)
+		return nil
+	}
+	return json.NewDecoder(r.Body).Decode(out)
+}
+
+// backoff returns the delay before retry number try (1-based): the base
+// doubles per retry with multiplicative jitter in [1,2), capped at 2s.
+func (e *Edge) backoff(try int) time.Duration {
+	d := e.retryBase() << (try - 1)
+	if max := 2 * time.Second; d > max {
+		d = max
+	}
+	return d + time.Duration(e.rng.Float64()*float64(d))
+}
+
+// isTimeout reports whether a transport error is a deadline/timeout.
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// sleepCtx sleeps for d or until the context is done, returning the
+// context's error in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -16,6 +16,7 @@ func AllAnalyzers() []Analyzer {
 		FloatEq{},
 		TensorAlias{},
 		LockGuard{},
+		HTTPDefault{},
 	}
 }
 

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// httpdefault: network-robustness discipline. http.DefaultClient and the
+// package-level convenience helpers (http.Get, http.Post, ...) have no
+// timeout, so one unresponsive peer can hang a tuning run forever — the
+// exact failure mode the distributed protocol's fault model exists to
+// prevent. Production code must build an http.Client with an explicit
+// Timeout (or install a per-request context deadline through a client it
+// constructed). Test files are exempt: httptest servers are local and
+// tests carry their own deadlines.
+
+// HTTPDefault flags use of http.DefaultClient, the package-level request
+// helpers, and http.Client literals without a Timeout.
+type HTTPDefault struct{}
+
+func (HTTPDefault) Name() string { return "httpdefault" }
+func (HTTPDefault) Doc() string {
+	return "no http.DefaultClient or timeout-less http.Client outside tests; every client needs an explicit Timeout"
+}
+
+// httpHelperFuncs are the net/http package-level functions that issue
+// requests through DefaultClient.
+var httpHelperFuncs = map[string]bool{
+	"Get": true, "Post": true, "PostForm": true, "Head": true,
+}
+
+func (HTTPDefault) Run(pass *Pass) {
+	for i, f := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Pkg.Filenames[i], "_test.go") {
+			continue
+		}
+		var httpNames []string // local names the file binds net/http to
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path != "net/http" {
+				continue
+			}
+			name := "http"
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			httpNames = append(httpNames, name)
+		}
+		if len(httpNames) == 0 {
+			continue
+		}
+		isHTTPPkg := func(id *ast.Ident) bool {
+			for _, hn := range httpNames {
+				if id.Name == hn && isPackageRef(pass, id) {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.SelectorExpr:
+				id, ok := node.X.(*ast.Ident)
+				if !ok || !isHTTPPkg(id) {
+					return true
+				}
+				switch {
+				case node.Sel.Name == "DefaultClient":
+					pass.Reportf(node.Pos(),
+						"http.DefaultClient has no timeout; build an http.Client with an explicit Timeout")
+				case httpHelperFuncs[node.Sel.Name]:
+					pass.Reportf(node.Pos(),
+						"http.%s uses DefaultClient (no timeout); issue the request through a client with an explicit Timeout", node.Sel.Name)
+				}
+			case *ast.CompositeLit:
+				sel, ok := node.Type.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Client" {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || !isHTTPPkg(id) {
+					return true
+				}
+				for _, el := range node.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Timeout" {
+							return true
+						}
+					} else {
+						// Positional literal: every field (including
+						// Timeout) is spelled out explicitly.
+						return true
+					}
+				}
+				pass.Reportf(node.Pos(),
+					"http.Client literal without a Timeout can hang forever; set an explicit Timeout")
+			}
+			return true
+		})
+	}
+}

@@ -63,6 +63,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		"spanfix",
 		"internal/tensorops",
 		"internal/parallel",
+		"httpdefault",
 	}
 	for _, fx := range fixtures {
 		t.Run(strings.ReplaceAll(fx, "/", "_"), func(t *testing.T) {
@@ -137,10 +138,10 @@ func TestDiagnosticFormat(t *testing.T) {
 	}
 }
 
-// TestAnalyzerRegistry checks the suite covers the six project rules and
-// that names resolve.
+// TestAnalyzerRegistry checks the suite covers the seven project rules
+// and that names resolve.
 func TestAnalyzerRegistry(t *testing.T) {
-	names := []string{"stdlibonly", "detrand", "spanend", "floateq", "tensoralias", "lockguard"}
+	names := []string{"stdlibonly", "detrand", "spanend", "floateq", "tensoralias", "lockguard", "httpdefault"}
 	all := AllAnalyzers()
 	if len(all) != len(names) {
 		t.Fatalf("suite has %d analyzers, want %d", len(all), len(names))

@@ -1,0 +1,42 @@
+// Package httpdefault is a lint fixture: timeout-less HTTP clients.
+package httpdefault
+
+import (
+	"net/http"
+	"time"
+)
+
+// UseDefaultClient issues a request through the shared timeout-less
+// client — flagged.
+func UseDefaultClient() (*http.Response, error) {
+	return http.DefaultClient.Get("http://coordinator/v1/curve") // want httpdefault
+}
+
+// PackageHelpers route through DefaultClient — each call flagged.
+func PackageHelpers() {
+	_, _ = http.Get("http://coordinator/v1/assignments")        // want httpdefault
+	_, _ = http.Post("http://coordinator/v1/profiles", "", nil) // want httpdefault
+	_, _ = http.PostForm("http://coordinator/v1/register", nil) // want httpdefault
+	_, _ = http.Head("http://coordinator/v1/curve")             // want httpdefault
+}
+
+// NoTimeout builds a client without a Timeout — flagged.
+func NoTimeout() *http.Client {
+	return &http.Client{Transport: http.DefaultTransport} // want httpdefault
+}
+
+// EmptyClient is the zero client — flagged.
+func EmptyClient() *http.Client {
+	return &http.Client{} // want httpdefault
+}
+
+// WithTimeout sets an explicit deadline — not flagged.
+func WithTimeout() *http.Client {
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+// Suppressed carries a justified ignore directive — not flagged.
+func Suppressed() *http.Client {
+	//lint:ignore httpdefault fixture: documented intentional timeout-less client
+	return &http.Client{}
+}
