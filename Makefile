@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet lint build test race chaos bench bench-smoke
+.PHONY: ci fmt-check vet lint build test race chaos bench bench-smoke bench-diff trace
 
-ci: fmt-check vet lint build race
+ci: fmt-check vet lint build bench-diff race
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -17,7 +17,7 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis (cmd/approxlint): seven go/ast+go/types
+# Project-specific static analysis (cmd/approxlint): eight go/ast+go/types
 # analyzers over the source tree, then the domain validators over the knob
 # registry and the model-zoo graphs.
 lint:
@@ -44,14 +44,26 @@ chaos:
 
 # Kernel benchmarks (full benchtime) plus one pass of the end-to-end
 # per-figure experiment benchmarks, with allocation stats, parsed into
-# the committed BENCH_PR3.json snapshot (cmd/benchjson). Regenerate
-# after kernel work.
+# the committed BENCH_PR6.json snapshot (cmd/benchjson). Regenerate
+# after kernel work, then gate future changes with
+# `benchjson -diff BENCH_PR6.json new.json`.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/tensorops > bench.out
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . >> bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_PR3.json < bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR6.json < bench.out
 	@rm bench.out
+
+# Perf-gate smoke: the diff mode must parse the committed snapshot and a
+# self-comparison must report zero regressions.
+bench-diff:
+	$(GO) run ./cmd/benchjson -diff BENCH_PR6.json BENCH_PR6.json
 
 # One-iteration smoke run of every benchmark in the module.
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Regenerate the committed sample span trace (results/sample_trace.jsonl)
+# that trace_test.go parses. The quickstart example is fully seeded, so
+# the span tree is deterministic (timestamps aside).
+trace:
+	$(GO) run ./examples/quickstart -trace results/sample_trace.jsonl

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+)
+
+// loadSnapshot reads a benchjson snapshot written by the -o mode.
+func loadSnapshot(path string) ([]benchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []benchResult
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return results, nil
+}
+
+// diffSnapshots compares two snapshots op by op, writes a delta table,
+// and returns the names of ops whose ns/op regressed by more than
+// threshold (0.20 = 20%). Ops present in only one snapshot are listed
+// but never count as regressions — a renamed or new benchmark is not a
+// slowdown.
+func diffSnapshots(w io.Writer, oldRes, newRes []benchResult, threshold float64) []string {
+	oldByOp := make(map[string]benchResult, len(oldRes))
+	for _, r := range oldRes {
+		oldByOp[r.Op] = r
+	}
+	newOps := make(map[string]bool, len(newRes))
+
+	var regressed []string
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "op\told ns/op\tnew ns/op\tdelta\t\n")
+	for _, nr := range newRes {
+		newOps[nr.Op] = true
+		or, ok := oldByOp[nr.Op]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t-\t%.0f\tnew\t\n", nr.Op, nr.NsPerOp)
+			continue
+		}
+		if or.NsPerOp <= 0 {
+			continue
+		}
+		delta := nr.NsPerOp/or.NsPerOp - 1
+		flag := ""
+		if delta > threshold {
+			flag = "REGRESSED"
+			regressed = append(regressed, nr.Op)
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\n", nr.Op, or.NsPerOp, nr.NsPerOp, delta*100, flag)
+	}
+	for _, or := range oldRes {
+		if !newOps[or.Op] {
+			fmt.Fprintf(tw, "%s\t%.0f\t-\tremoved\t\n", or.Op, or.NsPerOp)
+		}
+	}
+	tw.Flush()
+	return regressed
+}
+
+// runDiff implements the -diff mode: load both snapshots, print the
+// table, and report whether the gate should fail.
+func runDiff(w io.Writer, oldPath, newPath string, threshold float64) (int, error) {
+	oldRes, err := loadSnapshot(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRes, err := loadSnapshot(newPath)
+	if err != nil {
+		return 0, err
+	}
+	regressed := diffSnapshots(w, oldRes, newRes, threshold)
+	if len(regressed) > 0 {
+		fmt.Fprintf(w, "\n%d op(s) regressed more than %.0f%%: %v\n",
+			len(regressed), threshold*100, regressed)
+	}
+	return len(regressed), nil
+}

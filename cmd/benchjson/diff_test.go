@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnapshot(t *testing.T, dir, name string, results []benchResult) string {
+	t.Helper()
+	data, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffDetectsRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnapshot(t, dir, "old.json", []benchResult{
+		{Op: "Gemm", NsPerOp: 1000},
+		{Op: "Conv", NsPerOp: 2000},
+		{Op: "Gone", NsPerOp: 50},
+	})
+	newPath := writeSnapshot(t, dir, "new.json", []benchResult{
+		{Op: "Gemm", NsPerOp: 1500}, // +50%: regressed
+		{Op: "Conv", NsPerOp: 2100}, // +5%: within budget
+		{Op: "Added", NsPerOp: 10},  // new op: informational only
+	})
+	var sb strings.Builder
+	n, err := runDiff(&sb, oldPath, newPath, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("got %d regressions, want 1:\n%s", n, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"Gemm", "REGRESSED", "new", "removed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "REGRESSED") != 1 {
+		t.Errorf("only Gemm should be flagged:\n%s", out)
+	}
+}
+
+func TestDiffSelfComparisonIsClean(t *testing.T) {
+	dir := t.TempDir()
+	snap := []benchResult{{Op: "Gemm", NsPerOp: 1000}, {Op: "Conv", NsPerOp: 2000}}
+	path := writeSnapshot(t, dir, "snap.json", snap)
+	var sb strings.Builder
+	n, err := runDiff(&sb, path, path, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("self-diff reported %d regressions:\n%s", n, sb.String())
+	}
+}
+
+func TestDiffAtThresholdBoundary(t *testing.T) {
+	// Exactly +20% is within budget; the gate fires strictly above it.
+	dir := t.TempDir()
+	oldPath := writeSnapshot(t, dir, "old.json", []benchResult{{Op: "Gemm", NsPerOp: 1000}})
+	newPath := writeSnapshot(t, dir, "new.json", []benchResult{{Op: "Gemm", NsPerOp: 1200}})
+	var sb strings.Builder
+	n, err := runDiff(&sb, oldPath, newPath, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("+20%% exactly should pass, got %d regressions:\n%s", n, sb.String())
+	}
+}
+
+func TestDiffBadFile(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if _, err := runDiff(&sb, bad, bad, 0.20); err == nil {
+		t.Fatal("malformed snapshot should error")
+	}
+	if _, err := runDiff(&sb, filepath.Join(dir, "missing.json"), bad, 0.20); err == nil {
+		t.Fatal("missing snapshot should error")
+	}
+}

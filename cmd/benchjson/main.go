@@ -3,11 +3,16 @@
 // benchmark with the fields that matter for the perf gate: op name,
 // ns/op, B/op and allocs/op (plus iterations and MB/s when reported).
 // `make bench` pipes the tensorops benchmarks through it to regenerate
-// BENCH_PR3.json, the committed record of the kernel-engine numbers.
+// BENCH_PR6.json, the committed record of the kernel-engine numbers.
+//
+// The -diff mode compares two snapshots op by op and exits non-zero when
+// any op's ns/op regressed by more than -threshold (default 20%) — the
+// perf gate `make ci` smoke-tests against the committed snapshot.
 //
 // Usage:
 //
-//	go test -bench . -benchmem -run '^$' ./internal/tensorops | benchjson -o BENCH_PR3.json
+//	go test -bench . -benchmem -run '^$' ./internal/tensorops | benchjson -o BENCH_PR6.json
+//	benchjson -diff BENCH_PR6.json new.json
 package main
 
 import (
@@ -21,7 +26,25 @@ import (
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	diff := flag.Bool("diff", false, "compare two snapshot files (old new) instead of parsing stdin")
+	threshold := flag.Float64("threshold", 0.20, "with -diff, max tolerated ns/op regression as a fraction")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two snapshot files: old.json new.json")
+			os.Exit(2)
+		}
+		n, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if n > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	results, err := parseBench(os.Stdin)
 	if err != nil {

@@ -14,18 +14,25 @@
 // -req-timeout and -retries tune its fault-tolerance knobs.
 //
 // Observability: -trace out.jsonl exports a JSONL span trace of the run,
-// -metrics-addr :8090 serves live /metrics and /debug/pprof, and -v / -q
-// adjust progress verbosity.
+// -metrics-addr :8090 serves live /metrics (JSON or Prometheus text),
+// /healthz and /debug/pprof, -prom writes a final Prometheus textfile,
+// -telemetry prints an end-of-run metric summary table, and -v / -q
+// adjust progress verbosity. In -http mode the coordinator itself also
+// serves /metrics, /healthz and the aggregated fleet telemetry at
+// GET /v1/stats, which is logged as a fleet summary at the end of the
+// run.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -110,7 +117,7 @@ func main() {
 		opts.MaxRetries = *retries
 		logger.Infof("install-time tuning on %s over loopback HTTP (%s objective, %d edges, lease %v)...\n",
 			dev.Name, obj, *edges, *leaseTTL)
-		curve, err = runDistributed(app, devRes, dev, opts, *seed)
+		curve, err = runDistributed(app, devRes, dev, opts, *seed, logger)
 		if err != nil {
 			log.Fatalf("installtune: %v", err)
 		}
@@ -153,7 +160,7 @@ func main() {
 // loopback HTTP transport: a coordinator served on 127.0.0.1 and one edge
 // client goroutine per fleet member, all sharing the same options (and
 // therefore the same lease/retry discipline the flags configured).
-func runDistributed(app *approxtuner.App, devRes *approxtuner.Result, dev *approxtuner.Device, opts approxtuner.InstallOptions, seed int64) (*approxtuner.Curve, error) {
+func runDistributed(app *approxtuner.App, devRes *approxtuner.Result, dev *approxtuner.Device, opts approxtuner.InstallOptions, seed int64, logger *obs.Logger) (*approxtuner.Curve, error) {
 	coord, err := distrib.NewCoordinator(app.Program(), devRes.Profiles, opts)
 	if err != nil {
 		return nil, err
@@ -188,5 +195,38 @@ func runDistributed(app *approxtuner.App, devRes *approxtuner.Result, dev *appro
 	if !ok {
 		return nil, fmt.Errorf("coordinator did not produce a final curve")
 	}
+	logFleetStats(baseURL, logger)
 	return final, nil
+}
+
+// logFleetStats fetches the coordinator's aggregated fleet telemetry
+// (GET /v1/stats) before the loopback server shuts down and logs a
+// per-edge and fleet-total summary. Telemetry display is best-effort:
+// a failed fetch only logs a warning.
+func logFleetStats(baseURL string, logger *obs.Logger) {
+	cl := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get(baseURL + "/v1/stats")
+	if err != nil {
+		logger.Errorf("fleet stats: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	var fs distrib.FleetStats
+	if err := json.NewDecoder(resp.Body).Decode(&fs); err != nil {
+		logger.Errorf("fleet stats: %v\n", err)
+		return
+	}
+	logger.Infof("fleet telemetry: %d edges, %d requests (%d retries, %d timeouts), latency p50=%.4gs p99=%.4gs max=%.4gs\n",
+		len(fs.Edges), fs.TotalRequests, fs.TotalRetries, fs.TotalTimeouts,
+		fs.EdgeLatency.P50, fs.EdgeLatency.P99, fs.EdgeLatency.Max)
+	ids := make([]string, 0, len(fs.Edges))
+	for id := range fs.Edges {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		e := fs.Edges[id]
+		logger.Verbosef("  edge %s: %d requests, %d retries, %d timeouts, p50=%.4gs\n",
+			id, e.Requests, e.Retries, e.Timeouts, e.Latency.P50)
+	}
 }

@@ -7,8 +7,14 @@
 //
 //	runtimedemo -benchmark resnet18 -policy average
 //
-// Observability: -trace out.jsonl exports a JSONL span trace of the run
-// and -metrics-addr :8090 serves live /metrics and /debug/pprof.
+// With -inject-slowdown N the second half of the ladder additionally
+// runs N× slower than the shipped curve predicts (an unmodeled fault);
+// the end-of-run health report shows the drift detectors catching it.
+//
+// Observability: -trace out.jsonl exports a JSONL span trace of the run,
+// -metrics-addr :8090 serves live /metrics (JSON or Prometheus text),
+// /healthz and /debug/pprof, -prom writes a final Prometheus textfile,
+// and -telemetry prints an end-of-run metric summary table.
 package main
 
 import (
@@ -29,6 +35,7 @@ func main() {
 		images    = flag.Int("images", 64, "dataset size")
 		width     = flag.Float64("width", 0.25, "channel-width multiplier")
 		seed      = flag.Int64("seed", 1, "seed")
+		slowdown  = flag.Float64("inject-slowdown", 1, "inject an unmodeled execution-time slowdown of this factor over the second half of the DVFS ladder (1 = none)")
 	)
 	oc := obs.RegisterFlags(nil)
 	flag.Parse()
@@ -38,10 +45,11 @@ func main() {
 	defer oc.Close()
 
 	s := bench.NewSession(bench.Config{
-		Benchmarks: []string{*benchmark},
-		Images:     *images,
-		Width:      *width,
-		Seed:       *seed,
+		Benchmarks:    []string{*benchmark},
+		Images:        *images,
+		Width:         *width,
+		Seed:          *seed,
+		FaultSlowdown: *slowdown,
 	})
 	known := false
 	for _, n := range models.Names() {
@@ -53,7 +61,7 @@ func main() {
 		log.Fatalf("runtimedemo: unknown benchmark %q", *benchmark)
 	}
 
-	rows := bench.RunFig6(s, *benchmark)
+	rows, health := bench.RunFig6Health(s, *benchmark)
 	fmt.Printf("%-10s %-12s %-12s %-10s %-8s\n", "freq(MHz)", "base-time", "adapt-time", "accuracy", "switches")
 	for _, r := range rows {
 		fmt.Printf("%-10.0f %-12.2f %-12.2f %-10.2f %-8d\n",
@@ -63,4 +71,9 @@ func main() {
 	fmt.Printf("\nat %.0f MHz: baseline would slow %.2fx; adaptation holds %.2fx at %.2f pp accuracy cost\n",
 		last.FreqMHz, last.BaselineNormTime, last.AdaptedNormTime,
 		last.BaselineAccuracy-last.AdaptedAccuracy)
+
+	fmt.Printf("\n%s", health)
+	if health.RecalibrationNeeded {
+		fmt.Printf("the shipped curve no longer matches observed behavior; re-run install-time calibration\n")
+	}
 }

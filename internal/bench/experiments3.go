@@ -157,6 +157,18 @@ func Fig6(s *Session) *Report {
 // RunFig6 simulates the runtime-adaptation experiment for one benchmark
 // across the full DVFS ladder and returns the per-frequency rows.
 func RunFig6(s *Session, name string) []Fig6Row {
+	rows, _ := RunFig6Health(s, name)
+	return rows
+}
+
+// RunFig6Health is RunFig6 plus the runtime tuner's health snapshot.
+// When cfg.FaultSlowdown > 1, measured batch times are additionally
+// multiplied by that factor over the second half of the DVFS ladder —
+// an injected fault the shipped curve knows nothing about, which the
+// tuner's drift detectors should surface as alarms and a latched
+// recalibration signal (the DVFS ladder itself is modeled by the device
+// and stays fault-free).
+func RunFig6Health(s *Session, name string) ([]Fig6Row, core.RuntimeHealth) {
 	e := s.Entry(name)
 	qosMin := s.CalibBaseline(name) - 3
 	gpu := device.NewTX2GPU()
@@ -197,14 +209,21 @@ func RunFig6(s *Session, name string) []Fig6Row {
 
 	const batches = 24
 	var rows []Fig6Row
-	for _, f := range device.Freqs {
+	for fi, f := range device.Freqs {
 		gpu.SetFrequencyMHz(f)
 		baseTime := gpu.Time(costs, nil)
+		// Injected fault: an unmodeled slowdown over the second half of
+		// the ladder (cache pollution, thermal throttling beyond DVFS, a
+		// co-scheduled tenant — anything calibration never saw).
+		fault := 1.0
+		if s.cfg.FaultSlowdown > 1 && fi >= len(device.Freqs)/2 {
+			fault = s.cfg.FaultSlowdown
+		}
 		var sumTime, sumAcc float64
 		startSwitches := rt.Switches()
 		for b := 0; b < batches; b++ {
 			pt := rt.CurrentPoint()
-			bt := gpu.Time(costs, pt.Config)
+			bt := gpu.Time(costs, pt.Config) * fault
 			sumTime += bt
 			sumAcc += accOf(pt)
 			rt.RecordInvocation(bt)
@@ -218,5 +237,5 @@ func RunFig6(s *Session, name string) []Fig6Row {
 			ConfigSwitches:   rt.Switches() - startSwitches,
 		})
 	}
-	return rows
+	return rows, rt.Health()
 }

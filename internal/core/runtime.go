@@ -58,12 +58,21 @@ type RuntimeTuner struct {
 	mu      sync.Mutex
 	times   []float64 // recent invocation times
 	current pareto.Point
+	curIdx  int // index of current on the curve
 	// requiredPerf is the speedup (relative to the exact baseline) the
 	// tuner currently believes is needed to hold the target.
 	requiredPerf float64
 	switches     int
 	invocations  int
 	span         *obs.Span
+	closed       bool
+
+	// Health-monitor state (health.go): per-configuration latency
+	// histograms and drift detectors, plus the latched recalibration
+	// signal.
+	health      map[int]*configHealth
+	driftAlarms int
+	recalibrate bool
 }
 
 // NewRuntimeTuner builds a runtime controller. targetTime is the
@@ -89,16 +98,24 @@ func NewRuntimeTuner(curve *pareto.Curve, policy Policy, targetTime float64, win
 			With("target_time", targetTime).With("window", window),
 	}
 	rt.current = rt.pick(1)
+	rt.curIdx = rt.indexOf(rt.current)
 	return rt, nil
 }
 
 // Close ends the tuner's phase:runtime trace span, attaching the final
-// invocation and switch counts. Safe to call multiple times and on
-// tuners created while tracing was disabled.
+// invocation, switch and drift-alarm counts. Close is idempotent: only
+// the first call ends the span, so a deferred Close alongside an
+// explicit one cannot double-end it. Safe on tuners created while
+// tracing was disabled.
 func (rt *RuntimeTuner) Close() {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	rt.span.With("invocations", rt.invocations).With("switches", rt.switches).End()
+	if rt.closed {
+		return
+	}
+	rt.closed = true
+	rt.span.With("invocations", rt.invocations).With("switches", rt.switches).
+		With("drift_alarms", rt.driftAlarms).End()
 }
 
 // Current returns the configuration to use for the next invocation. Under
@@ -137,6 +154,9 @@ func (rt *RuntimeTuner) RecordInvocation(execTime float64) {
 	if execTime > rt.targetTime {
 		mRtMisses.Inc()
 	}
+	// Attribute the measurement to the configuration that actually ran
+	// it — the one active on entry — before any switch below.
+	rt.observeHealth(rt.curIdx, execTime)
 	rt.times = append(rt.times, execTime)
 	if len(rt.times) > rt.window {
 		rt.times = rt.times[len(rt.times)-rt.window:]
@@ -162,6 +182,7 @@ func (rt *RuntimeTuner) RecordInvocation(execTime float64) {
 		rt.switches++
 		mRtSwitches.Inc()
 		rt.current = next
+		rt.curIdx = rt.indexOf(next)
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pareto"
 	"repro/internal/predictor"
 )
@@ -69,6 +70,11 @@ type Coordinator struct {
 	searched  bool
 	validated map[int][]pareto.Point // sliceID → local Pareto set
 	final     *pareto.Curve
+	edgeTel   map[int]edgeTelemetryReq // edgeID → end-of-run client telemetry
+
+	// stats mirrors the HTTP middleware telemetry for this coordinator
+	// instance (httpmw.go); it has its own lock.
+	stats httpStats
 }
 
 // edgeLease tracks one edge's liveness.
@@ -108,6 +114,7 @@ func NewCoordinator(p core.Program, devProfiles *predictor.Profiles, opts core.I
 		valWork:   make(map[int]*workItem),
 		shards:    make(map[int]*predictor.Profiles),
 		validated: make(map[int][]pareto.Point),
+		edgeTel:   make(map[int]edgeTelemetryReq),
 	}, nil
 }
 
@@ -199,14 +206,23 @@ type curveResp struct {
 	Revalidate *sliceOffer `json:"revalidate,omitempty"`
 }
 
-// Handler returns the coordinator's HTTP API.
+// Handler returns the coordinator's HTTP API. Every protocol endpoint
+// runs behind the telemetry middleware (httpmw.go); the handler also
+// serves the fleet stats at GET /v1/stats, the process metric registry
+// at /metrics (JSON or Prometheus text, content-negotiated) and a
+// liveness probe at /healthz, so a coordinator is scrapeable without a
+// separate -metrics-addr endpoint.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/register", c.handleRegister)
-	mux.HandleFunc("POST /v1/profiles", c.handleProfiles)
-	mux.HandleFunc("GET /v1/assignments", c.handleAssignments)
-	mux.HandleFunc("POST /v1/validated", c.handleValidated)
-	mux.HandleFunc("GET /v1/curve", c.handleCurve)
+	mux.HandleFunc("POST /v1/register", c.instrument("/v1/register", c.handleRegister))
+	mux.HandleFunc("POST /v1/profiles", c.instrument("/v1/profiles", c.handleProfiles))
+	mux.HandleFunc("GET /v1/assignments", c.instrument("/v1/assignments", c.handleAssignments))
+	mux.HandleFunc("POST /v1/validated", c.instrument("/v1/validated", c.handleValidated))
+	mux.HandleFunc("GET /v1/curve", c.instrument("/v1/curve", c.handleCurve))
+	mux.HandleFunc("POST /v1/telemetry", c.instrument("/v1/telemetry", c.handleTelemetry))
+	mux.HandleFunc("GET /v1/stats", c.handleStats)
+	mux.Handle("GET /metrics", obs.MetricsHandler(nil))
+	mux.Handle("GET /healthz", obs.HealthzHandler())
 	return mux
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/approx"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/pareto"
 	"repro/internal/tensor"
 )
@@ -50,6 +51,15 @@ type Edge struct {
 	httpc   *http.Client
 	rng     *tensor.RNG // backoff jitter stream (never touches tuning RNGs)
 	attempt int         // logical-operation idempotency token counter
+
+	// Client-side telemetry, reported best-effort to POST /v1/telemetry
+	// at the end of Run. An Edge runs from a single goroutine, so the
+	// counters are plain fields; the latency histogram is mergeable so
+	// the coordinator can fold the fleet into one distribution.
+	telRequests int64
+	telRetries  int64
+	telTimeouts int64
+	telLat      *obs.QHistogram
 }
 
 // NewEdge builds an edge whose robustness knobs come from the install
@@ -126,6 +136,9 @@ func (e *Edge) Run(ctx context.Context) (*pareto.Curve, error) {
 	// Jitter stream for backoff only: a separate seed space keeps retry
 	// timing from perturbing the deterministic tuning streams.
 	e.rng = tensor.NewRNG(e.Seed + 9001 + int64(e.ID)*7919)
+	if e.telLat == nil {
+		e.telLat = obs.NewQHist()
+	}
 
 	// Step 1: register, get shard assignment.
 	var reg registerResp
@@ -203,12 +216,30 @@ func (e *Edge) Run(ctx context.Context) (*pareto.Curve, error) {
 			continue
 		}
 		if cr.Ready {
+			e.reportTelemetry(ctx)
 			return pareto.UnmarshalCurve(cr.Curve)
 		}
 		if err := sleepCtx(ctx, e.poll()); err != nil {
 			return nil, err
 		}
 	}
+}
+
+// reportTelemetry uploads the edge's client-side telemetry — request,
+// retry and timeout counts plus the full latency snapshot — to the
+// coordinator. Best-effort: the payload is snapshotted before the
+// request (so the upload does not count itself), and a failed upload is
+// ignored — telemetry loss must never fail a run that already has its
+// curve.
+func (e *Edge) reportTelemetry(ctx context.Context) {
+	req := edgeTelemetryReq{
+		EdgeID:   e.ID,
+		Requests: e.telRequests,
+		Retries:  e.telRetries,
+		Timeouts: e.telTimeouts,
+		Latency:  e.telLat.Snapshot(),
+	}
+	_ = e.post(ctx, "/v1/telemetry", req, nil)
 }
 
 // shardProgram shards the edge's full program for an arbitrary
@@ -293,6 +324,7 @@ func (e *Edge) do(ctx context.Context, method, path string, body []byte, out any
 	for try := 0; ; try++ {
 		if try > 0 {
 			mClientRetries.Inc()
+			e.telRetries++
 			if err := sleepCtx(ctx, e.backoff(try)); err != nil {
 				return fmt.Errorf("distrib: %s %s: %w (last error: %v)", method, path, err, lastErr)
 			}
@@ -329,10 +361,16 @@ func (e *Edge) doOnce(ctx context.Context, method, path string, body []byte, out
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	e.telRequests++
+	start := time.Now()
 	r, err := e.client().Do(req)
+	if e.telLat != nil {
+		e.telLat.Observe(time.Since(start).Seconds())
+	}
 	if err != nil {
 		if isTimeout(err) {
 			mClientTimeouts.Inc()
+			e.telTimeouts++
 		}
 		return &retryableError{fmt.Errorf("distrib: %s %s: %w", method, path, err)}
 	}

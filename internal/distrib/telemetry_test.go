@@ -1,0 +1,186 @@
+package distrib
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/predictor"
+)
+
+// telemetryLineRe matches one valid Prometheus text-format line (the
+// subset the obs writer emits).
+var telemetryLineRe = regexp.MustCompile(`^(# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* .+` +
+	`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN))$`)
+
+// TestFleetTelemetryAggregation pins the fleet-telemetry acceptance
+// criterion: a loopback fleet behind a lossy transport converges, every
+// edge's end-of-run client telemetry (requests, retries, latency) lands
+// in GET /v1/stats with correct totals, and the coordinator's own
+// /metrics endpoint serves valid Prometheus text that includes the
+// middleware's per-endpoint series.
+func TestFleetTelemetryAggregation(t *testing.T) {
+	gp, base := buildProgram(t)
+	profs := devProfiles(t, gp)
+	const nEdge = 3
+	opts := core.InstallOptions{
+		Options: core.Options{
+			QoSMin: base - 10, NCalibrate: 5, MaxIters: 150, StallLimit: 80,
+			MaxConfigs: 12, Policy: core.KnobPolicy{AllowFP16: true}, Seed: 3,
+			Model: predictor.Pi2,
+		},
+		Device:    device.NewTX2GPU(),
+		Objective: core.MinimizeEnergy,
+		NEdge:     nEdge,
+	}
+	coord, err := NewCoordinator(gp, profs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, nEdge)
+	for i := 0; i < nEdge; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := &Edge{
+				ID: i, BaseURL: srv.URL, Program: gp,
+				Device: device.NewTX2GPU(), Seed: 11,
+				RetryBase: time.Millisecond,
+				// A lossy link forces client retries so the retry fields in
+				// /v1/stats are exercised, not just present. Per-edge seeds
+				// decorrelate the three fault schedules.
+				Transport: NewFaultyTransport(FaultPlan{Seed: int64(100 + i), DropProb: 0.3}, nil),
+			}
+			_, errs[i] = e.Run(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("edge %d: %v", i, err)
+		}
+	}
+
+	cl := srv.Client()
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := cl.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var fs FleetStats
+	if err := json.Unmarshal(get("/v1/stats"), &fs); err != nil {
+		t.Fatalf("/v1/stats: %v", err)
+	}
+	if len(fs.Edges) != nEdge {
+		t.Fatalf("/v1/stats has %d edges, want %d: %+v", len(fs.Edges), nEdge, fs.Edges)
+	}
+	var wantReq, wantRetry, wantTimeout, wantLat int64
+	for id, e := range fs.Edges {
+		if e.Requests <= 0 {
+			t.Errorf("edge %s reported %d requests", id, e.Requests)
+		}
+		if e.Latency.Count != e.Requests {
+			t.Errorf("edge %s latency count %d != requests %d", id, e.Latency.Count, e.Requests)
+		}
+		if e.Latency.P50 <= 0 || e.Latency.Max < e.Latency.P99 {
+			t.Errorf("edge %s implausible latency summary: %+v", id, e.Latency)
+		}
+		wantReq += e.Requests
+		wantRetry += e.Retries
+		wantTimeout += e.Timeouts
+		wantLat += e.Latency.Count
+	}
+	if fs.TotalRequests != wantReq || fs.TotalRetries != wantRetry || fs.TotalTimeouts != wantTimeout {
+		t.Errorf("totals %d/%d/%d do not match per-edge sums %d/%d/%d",
+			fs.TotalRequests, fs.TotalRetries, fs.TotalTimeouts, wantReq, wantRetry, wantTimeout)
+	}
+	if fs.TotalRetries < 1 {
+		t.Error("lossy transport produced no retries; fault injection is not reaching the client")
+	}
+	if fs.EdgeLatency.Count != wantLat {
+		t.Errorf("merged fleet latency count %d != per-edge sum %d", fs.EdgeLatency.Count, wantLat)
+	}
+	for _, path := range []string{"/v1/register", "/v1/profiles", "/v1/curve", "/v1/telemetry"} {
+		ep, ok := fs.Endpoints[path]
+		if !ok {
+			t.Errorf("/v1/stats missing endpoint %s", path)
+			continue
+		}
+		if ep.Requests <= 0 || ep.Latency.Count != ep.Requests {
+			t.Errorf("endpoint %s: requests=%d latency.count=%d", path, ep.Requests, ep.Latency.Count)
+		}
+		if ep.ByClass["2xx"] <= 0 {
+			t.Errorf("endpoint %s has no 2xx responses: %v", path, ep.ByClass)
+		}
+	}
+
+	// The coordinator serves the process registry at /metrics with
+	// Prometheus content negotiation, and a liveness probe at /healthz.
+	prom := string(get("/metrics?format=prom"))
+	for _, line := range strings.Split(strings.TrimRight(prom, "\n"), "\n") {
+		if !telemetryLineRe.MatchString(line) {
+			t.Errorf("invalid prometheus line from coordinator /metrics: %q", line)
+		}
+	}
+	for _, want := range []string{
+		"distrib_http_latency_seconds", "distrib_http_responses", "distrib_client_retries",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("coordinator /metrics missing %s", want)
+		}
+	}
+	if body := strings.TrimSpace(string(get("/healthz"))); body != "ok" {
+		t.Errorf("/healthz = %q, want ok", body)
+	}
+}
+
+// TestTelemetryRejectsBadEdgeID pins validation on the telemetry upload.
+func TestTelemetryRejectsBadEdgeID(t *testing.T) {
+	gp, base := buildProgram(t)
+	coord, err := NewCoordinator(gp, devProfiles(t, gp), core.InstallOptions{
+		Options: core.Options{QoSMin: base - 10, Seed: 1},
+		Device:  device.NewTX2GPU(),
+		NEdge:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Post(srv.URL+"/v1/telemetry", "application/json",
+		strings.NewReader(`{"edge_id":7,"requests":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range telemetry edge id: status %d, want 400", resp.StatusCode)
+	}
+}

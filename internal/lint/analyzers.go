@@ -17,6 +17,7 @@ func AllAnalyzers() []Analyzer {
 		TensorAlias{},
 		LockGuard{},
 		HTTPDefault{},
+		MetricName{},
 	}
 }
 

@@ -64,6 +64,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		"internal/tensorops",
 		"internal/parallel",
 		"httpdefault",
+		"metricname",
 	}
 	for _, fx := range fixtures {
 		t.Run(strings.ReplaceAll(fx, "/", "_"), func(t *testing.T) {
@@ -138,10 +139,10 @@ func TestDiagnosticFormat(t *testing.T) {
 	}
 }
 
-// TestAnalyzerRegistry checks the suite covers the seven project rules
+// TestAnalyzerRegistry checks the suite covers the eight project rules
 // and that names resolve.
 func TestAnalyzerRegistry(t *testing.T) {
-	names := []string{"stdlibonly", "detrand", "spanend", "floateq", "tensoralias", "lockguard", "httpdefault"}
+	names := []string{"stdlibonly", "detrand", "spanend", "floateq", "tensoralias", "lockguard", "httpdefault", "metricname"}
 	all := AllAnalyzers()
 	if len(all) != len(names) {
 		t.Fatalf("suite has %d analyzers, want %d", len(all), len(names))

@@ -6,18 +6,72 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
-// Server is the opt-in live observability endpoint: expvar-style metric
-// JSON at /metrics, a span-tree summary at /trace, and the standard
-// net/http/pprof profiling handlers at /debug/pprof/ for live profiling
-// of long tuning runs.
+// Server is the opt-in live observability endpoint: metric exposition at
+// /metrics (expvar-style JSON or Prometheus text, content-negotiated), a
+// liveness probe at /healthz, a span-tree summary at /trace, and the
+// standard net/http/pprof profiling handlers at /debug/pprof/ for live
+// profiling of long tuning runs.
 type Server struct {
 	// Addr is the bound address (useful with ":0").
 	Addr string
 	ln   net.Listener
 	srv  *http.Server
+}
+
+// MetricsHandler serves the registry at a /metrics-style endpoint with
+// content negotiation: `?format=prom` (or an Accept header naming
+// text/plain or application/openmetrics-text, as Prometheus scrapers
+// send) selects the Prometheus text exposition; `?format=json` or an
+// Accept header naming application/json — and any request expressing no
+// preference — selects the expvar-style indented JSON snapshot, which
+// keeps existing `curl :8090/metrics` consumers byte-compatible.
+func MetricsHandler(reg *Registry) http.Handler {
+	if reg == nil {
+		reg = Default
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if wantsProm(r) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WritePrometheus(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+}
+
+// wantsProm applies the /metrics content negotiation: the explicit
+// format query parameter wins; otherwise the Accept header decides, with
+// JSON as the no-preference default.
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "application/json") {
+		return false
+	}
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+// HealthzHandler answers liveness probes with 200 "ok". It reports the
+// process-level signal only; richer health (e.g. runtime drift) lives in
+// the metrics the same endpoint serves.
+func HealthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
 }
 
 // ServeMetrics binds addr (e.g. ":8090" or ":0") and serves the registry
@@ -37,14 +91,10 @@ func ServeMetrics(addr string, reg *Registry, tr *Tracer) (*Server, error) {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "approxtuner observability endpoint\n\n/metrics      expvar-style metric JSON\n/trace        span tree of the active tracer\n/debug/pprof  live profiling\n")
+		fmt.Fprintf(w, "approxtuner observability endpoint\n\n/metrics      metric snapshot (JSON; ?format=prom or a Prometheus Accept header for text exposition)\n/healthz      liveness probe\n/trace        span tree of the active tracer\n/debug/pprof  live profiling\n")
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(reg.Snapshot())
-	})
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.Handle("/healthz", HealthzHandler())
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		t := tr
 		if t == nil {

@@ -68,6 +68,18 @@ type Gauge struct{ bits atomic.Uint64 }
 // Set stores v.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// Add atomically adds delta (negative deltas decrement — e.g. in-flight
+// request tracking).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the stored value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
@@ -223,10 +235,54 @@ func (r *Registry) CounterVec(name string) *CounterVec {
 // NewCounterVec returns the named counter family in the Default registry.
 func NewCounterVec(name string) *CounterVec { return Default.CounterVec(name) }
 
+// GaugeVec is a family of gauges keyed by a label value (e.g. in-flight
+// requests by endpoint). Label lookup takes a read lock; the gauges
+// themselves are lock-free, so hot paths should cache the *Gauge.
+type GaugeVec struct {
+	mu sync.RWMutex
+	m  map[string]*Gauge
+}
+
+// With returns (creating if needed) the gauge for a label value.
+func (v *GaugeVec) With(label string) *Gauge {
+	v.mu.RLock()
+	g, ok := v.m[label]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok = v.m[label]; ok {
+		return g
+	}
+	g = &Gauge{}
+	v.m[label] = g
+	return g
+}
+
+func (v *GaugeVec) snapshot() map[string]float64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]float64, len(v.m))
+	for k, g := range v.m {
+		out[k] = g.Value()
+	}
+	return out
+}
+
+// GaugeVec returns (creating if needed) the named gauge family.
+func (r *Registry) GaugeVec(name string) *GaugeVec {
+	return lookup(r, name, func() *GaugeVec { return &GaugeVec{m: make(map[string]*Gauge)} })
+}
+
+// NewGaugeVec returns the named gauge family in the Default registry.
+func NewGaugeVec(name string) *GaugeVec { return Default.GaugeVec(name) }
+
 // Snapshot returns the current value of every metric keyed by name:
-// int64 for counters, float64 for gauges, map[string]int64 for counter
-// families and HistogramSnapshot for histograms — the expvar-style JSON
-// the HTTP endpoint serves.
+// int64 for counters, float64 for gauges, map[string]... for the vec
+// families, HistogramSnapshot for histograms and QSummary for quantile
+// histograms — the expvar-style JSON the HTTP endpoint serves.
 func (r *Registry) Snapshot() map[string]any {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -240,6 +296,12 @@ func (r *Registry) Snapshot() map[string]any {
 		case *Histogram:
 			out[name] = m.snapshot()
 		case *CounterVec:
+			out[name] = m.snapshot()
+		case *GaugeVec:
+			out[name] = m.snapshot()
+		case *QHistogram:
+			out[name] = m.Snapshot().Summary()
+		case *QHistVec:
 			out[name] = m.snapshot()
 		}
 	}

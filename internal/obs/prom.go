@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every metric of the registry in the Prometheus
+// text exposition format (version 0.0.4), ordered by metric name so the
+// output is deterministic for a given registry state:
+//
+//   - Counter      → counter
+//   - Gauge        → gauge
+//   - CounterVec   → counter with a `key` label per family member
+//   - GaugeVec     → gauge with a `key` label per family member
+//   - Histogram    → histogram (cumulative `_bucket{le=...}` series)
+//   - QHistogram   → summary (p50/p90/p99 quantile series) plus a
+//     `<name>_max` gauge for the tail
+//   - QHistVec     → summary with a `key` label per family member
+//
+// Metric names are mangled dots-to-underscores ("runtime.drift_alarms"
+// → "runtime_drift_alarms"), which maps the project's snake_case dotted
+// naming convention onto Prometheus' [a-zA-Z_:] charset exactly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.metrics))
+	byName := make(map[string]any, len(r.metrics))
+	for name, m := range r.metrics {
+		names = append(names, name)
+		byName[name] = m
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+
+	pw := &promWriter{w: w}
+	for _, name := range names {
+		pn := promName(name)
+		switch m := byName[name].(type) {
+		case *Counter:
+			pw.typ(pn, "counter")
+			pw.line(pn, "", float64(m.Value()))
+		case *Gauge:
+			pw.typ(pn, "gauge")
+			pw.line(pn, "", m.Value())
+		case *CounterVec:
+			pw.typ(pn, "counter")
+			for _, kv := range sortedLabels(m.snapshot()) {
+				pw.line(pn, promLabel("key", kv.k), float64(kv.v))
+			}
+		case *GaugeVec:
+			pw.typ(pn, "gauge")
+			for _, kv := range sortedFloatLabels(m.snapshot()) {
+				pw.line(pn, promLabel("key", kv.k), kv.v)
+			}
+		case *Histogram:
+			pw.typ(pn, "histogram")
+			var cum int64
+			for i, ub := range m.bounds {
+				cum += m.Bucket(i)
+				pw.line(pn+"_bucket", promLabel("le", promFloat(ub)), float64(cum))
+			}
+			pw.line(pn+"_bucket", promLabel("le", "+Inf"), float64(m.Count()))
+			pw.line(pn+"_sum", "", m.Sum())
+			pw.line(pn+"_count", "", float64(m.Count()))
+		case *QHistogram:
+			pw.typ(pn, "summary")
+			pw.summary(pn, m.Snapshot().Summary(), "")
+		case *QHistVec:
+			pw.typ(pn, "summary")
+			for _, kv := range sortedSummaryLabels(m.snapshot()) {
+				pw.summary(pn, kv.v, promLabel("key", kv.k))
+			}
+		}
+	}
+	return pw.err
+}
+
+// promWriter accumulates the first write error so callers check once.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *promWriter) typ(name, kind string) { p.printf("# TYPE %s %s\n", name, kind) }
+
+func (p *promWriter) line(name, labels string, v float64) {
+	if labels == "" {
+		p.printf("%s %s\n", name, promFloat(v))
+		return
+	}
+	p.printf("%s{%s} %s\n", name, labels, promFloat(v))
+}
+
+// summary emits one quantile histogram as a Prometheus summary (the
+// quantile series plus _sum/_count) and a _max gauge for the tail.
+// extra, when non-empty, is prepended to each series' label set.
+func (p *promWriter) summary(name string, s QSummary, extra string) {
+	join := func(q string) string {
+		if extra == "" {
+			return q
+		}
+		return extra + "," + q
+	}
+	p.line(name, join(promLabel("quantile", "0.5")), s.P50)
+	p.line(name, join(promLabel("quantile", "0.9")), s.P90)
+	p.line(name, join(promLabel("quantile", "0.99")), s.P99)
+	p.line(name+"_sum", extra, s.Sum)
+	p.line(name+"_count", extra, float64(s.Count))
+	p.line(name+"_max", extra, s.Max)
+}
+
+// promName maps a registry name onto the Prometheus metric charset.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r == '.' || r == '-' || r == '/' || r == ' ':
+			b.WriteByte('_')
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel renders one escaped label pair.
+func promLabel(key, val string) string {
+	val = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`).Replace(val)
+	return key + `="` + val + `"`
+}
+
+// promFloat renders a value the way Prometheus expects (shortest
+// round-trip form; infinities as +Inf/-Inf).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+type labelCount struct {
+	k string
+	v int64
+}
+
+func sortedLabels(m map[string]int64) []labelCount {
+	out := make([]labelCount, 0, len(m))
+	for k, v := range m {
+		out = append(out, labelCount{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}
+
+type labelFloat struct {
+	k string
+	v float64
+}
+
+func sortedFloatLabels(m map[string]float64) []labelFloat {
+	out := make([]labelFloat, 0, len(m))
+	for k, v := range m {
+		out = append(out, labelFloat{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}
+
+type labelSummary struct {
+	k string
+	v QSummary
+}
+
+func sortedSummaryLabels(m map[string]QSummary) []labelSummary {
+	out := make([]labelSummary, 0, len(m))
+	for k, v := range m {
+		out = append(out, labelSummary{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}

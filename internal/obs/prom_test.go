@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// promTestRegistry builds a registry with one metric of every kind and
+// fully deterministic contents.
+func promTestRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("runtime.invocations").Add(42)
+	reg.Gauge("runtime.required_perf").Set(1.25)
+	cv := reg.CounterVec("graph.kernel_invocations_by_knob")
+	cv.With("fp16").Add(7)
+	cv.With("perf-33%").Add(3)
+	gv := reg.GaugeVec("distrib.http_inflight")
+	gv.With("/v1/register").Set(1)
+	h := reg.Histogram("predictor.calibration_abs_error", 0.01, 10, 3)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(99)
+	// Dyadic values (i/1024) keep every partial sum exact, so the
+	// exposition is bit-identical no matter how the observations split
+	// across the histogram's per-P shards.
+	q := reg.QHistogram("runtime.invocation_seconds")
+	for i := 1; i <= 100; i++ {
+		q.Observe(float64(i) / 1024)
+	}
+	qv := reg.QHistVec("distrib.http_latency_seconds")
+	lat := qv.With("/v1/curve")
+	lat.Observe(0.002)
+	lat.Observe(0.004)
+	return reg
+}
+
+// TestWritePrometheusGolden pins the full text exposition — every metric
+// kind, name mangling, label escaping order and float formatting —
+// against testdata/prom.golden.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promTestRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/prom.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("prometheus exposition drifted from testdata/prom.golden:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+}
+
+// promLineRe matches one valid Prometheus text-format sample or comment
+// line (the subset the writer emits).
+var promLineRe = regexp.MustCompile(`^(# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* .+` +
+	`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN))$`)
+
+// checkPromFormat validates every non-empty line of a text exposition.
+func checkPromFormat(t *testing.T, text string) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty exposition")
+	}
+	for _, line := range lines {
+		if !promLineRe.MatchString(line) {
+			t.Errorf("invalid prometheus text line: %q", line)
+		}
+	}
+}
+
+// TestWritePrometheusValidFormat validates the exposition of the live
+// Default registry (whatever the rest of the test binary populated it
+// with) line by line.
+func TestWritePrometheusValidFormat(t *testing.T) {
+	var buf bytes.Buffer
+	NewCounter("obs.prom_format_test").Inc()
+	if err := Default.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkPromFormat(t, buf.String())
+}
+
+// TestMetricsContentNegotiation checks the /metrics format selection:
+// query parameter beats Accept header beats the JSON default.
+func TestMetricsContentNegotiation(t *testing.T) {
+	cases := []struct {
+		format, accept string
+		wantProm       bool
+	}{
+		{"", "", false},
+		{"", "text/html,application/xhtml+xml", false},
+		{"", "application/json", false},
+		{"", "text/plain;version=0.0.4", true},
+		{"", "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5,*/*;q=0.1", true},
+		{"prom", "application/json", true},
+		{"prometheus", "", true},
+		{"json", "text/plain", false},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest("GET", "/metrics?format="+c.format, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.accept != "" {
+			req.Header.Set("Accept", c.accept)
+		}
+		if got := wantsProm(req); got != c.wantProm {
+			t.Errorf("format=%q accept=%q: wantsProm = %v, want %v", c.format, c.accept, got, c.wantProm)
+		}
+	}
+}
+
+// TestConcurrentScrapes serves a live endpoint and hammers /metrics
+// (both formats), /healthz and /trace while spans, counters and quantile
+// histograms are being written — the CI race gate runs this under -race.
+func TestConcurrentScrapes(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	prev := Install(tr)
+	defer Install(prev)
+
+	srv, err := ServeMetrics("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	qh := NewQHistogram("obs.scrape_test_latency")
+	ctr := NewCounter("obs.scrape_test_total")
+	ctr.Inc() // visible before the first scrape, even if writers lag
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			// Bounded work with frequent yields: the race gate runs
+			// this while other packages saturate the machine, and the
+			// scrape server must still get scheduled.
+			for i := 0; i < 20000; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sp := Start(fmt.Sprintf("scrape-test-%d", w))
+				qh.Observe(float64(i%100) * 1e-4)
+				ctr.Inc()
+				sp.End()
+				if i%64 == 0 {
+					time.Sleep(time.Millisecond) // let scrapers make progress
+				}
+			}
+		}(w)
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	get := func(path string) (string, int) {
+		t.Helper()
+		resp, err := client.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body), resp.StatusCode
+	}
+
+	var scrapers sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			iters := 10
+			if testing.Short() {
+				iters = 3
+			}
+			for i := 0; i < iters; i++ {
+				if body, code := get("/metrics?format=prom"); code != http.StatusOK {
+					t.Errorf("/metrics prom status %d", code)
+				} else if !strings.Contains(body, "obs_scrape_test_total") {
+					t.Error("prom scrape missing obs_scrape_test_total")
+				}
+				if body, code := get("/metrics"); code != http.StatusOK || !strings.HasPrefix(strings.TrimSpace(body), "{") {
+					t.Errorf("/metrics json scrape broken (status %d)", code)
+				}
+				if _, code := get("/trace"); code != http.StatusOK {
+					t.Errorf("/trace status %d", code)
+				}
+				if body, code := get("/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+					t.Errorf("/healthz = %q (status %d)", body, code)
+				}
+			}
+		}()
+	}
+	scrapers.Wait()
+	close(stop)
+	writers.Wait()
+
+	// A final prom scrape must still be format-valid.
+	body, _ := get("/metrics?format=prom")
+	checkPromFormat(t, body)
+}
+
+// TestWriteSummaryTable smoke-tests the end-of-run table renderer over
+// every metric kind.
+func TestWriteSummaryTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, promTestRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"metric", "runtime.invocations", "42",
+		"graph.kernel_invocations_by_knob{fp16}",
+		"runtime.invocation_seconds", "p99=",
+		"distrib.http_latency_seconds{/v1/curve}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary table missing %q:\n%s", want, out)
+		}
+	}
+}

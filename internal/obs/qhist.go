@@ -1,0 +1,388 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// QHistogram is a mergeable quantile histogram for hot-path latency
+// accounting. Observations land in shard-per-P bucket arrays (a
+// sync.Pool hands each P its own shard), so concurrent Observe calls
+// almost never touch the same cache lines; each shard's buckets are
+// plain atomic adds. The steady-state Observe path performs zero
+// allocations and takes no locks.
+//
+// Buckets are log-linear (HdrHistogram style): one octave per power of
+// two, each octave split into 16 linear sub-buckets, covering
+// [2^-40, 2^24) — roughly a picosecond to months when values are
+// seconds. The layout bounds the relative quantile-estimation error at
+// 1/32 of the bucket width (midpoint reporting): ≤ ~3.2%.
+//
+// Snapshot produces an immutable QSnapshot that can be merged with
+// snapshots of other histograms (e.g. per-edge telemetry folded into a
+// fleet view) and queried for arbitrary quantiles.
+type QHistogram struct {
+	mu     sync.Mutex // guards shard-list growth only
+	shards atomic.Pointer[[]*qshard]
+	pool   sync.Pool
+}
+
+const (
+	qhistSubBits = 4 // 16 linear sub-buckets per octave
+	qhistSub     = 1 << qhistSubBits
+	qhistMinExp  = -40 // smallest octave: [2^-40, 2^-39)
+	qhistMaxExp  = 24  // values ≥ 2^24 overflow
+	qhistOctaves = qhistMaxExp - qhistMinExp
+	// Index 0 is the underflow bucket (v < 2^minExp, including zero and
+	// negatives); the last index is the overflow bucket.
+	qhistNBuckets = qhistOctaves*qhistSub + 2
+)
+
+// qshard is one P's private slice of the histogram. The trailing pad
+// keeps two shards from sharing a cache line.
+type qshard struct {
+	buckets [qhistNBuckets]atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	maxBits atomic.Uint64 // float64 bits of the largest observation
+	_       [64]byte
+}
+
+// NewQHist returns an unregistered quantile histogram, for callers that
+// manage their own lifecycle (e.g. one histogram per runtime
+// configuration). Registered, named histograms come from
+// Registry.QHistogram / NewQHistogram.
+func NewQHist() *QHistogram {
+	h := &QHistogram{}
+	empty := make([]*qshard, 0, 8)
+	h.shards.Store(&empty)
+	h.pool.New = func() any { return h.newShard() }
+	return h
+}
+
+func (h *QHistogram) newShard() *qshard {
+	s := &qshard{}
+	s.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	h.mu.Lock()
+	old := *h.shards.Load()
+	next := make([]*qshard, len(old)+1)
+	copy(next, old)
+	next[len(old)] = s
+	h.shards.Store(&next)
+	h.mu.Unlock()
+	return s
+}
+
+// qhistIndex maps a value to its bucket index.
+func qhistIndex(v float64) int {
+	if !(v >= math.Ldexp(1, qhistMinExp)) { // catches NaN, ≤0 and tiny
+		return 0
+	}
+	frac, exp := math.Frexp(v) // v = frac·2^exp, frac ∈ [0.5, 1)
+	e := exp - 1               // v = (2·frac)·2^e, 2·frac ∈ [1, 2)
+	if e >= qhistMaxExp {
+		return qhistNBuckets - 1
+	}
+	sub := int((frac*2 - 1) * qhistSub)
+	return 1 + (e-qhistMinExp)*qhistSub + sub
+}
+
+// qhistUpper returns the upper bound of bucket i (the lower bound of
+// bucket 0 is -inf; the upper bound of the overflow bucket is +inf).
+func qhistUpper(i int) float64 {
+	switch {
+	case i <= 0:
+		return math.Ldexp(1, qhistMinExp)
+	case i >= qhistNBuckets-1:
+		return math.Inf(1)
+	}
+	i--
+	e := qhistMinExp + i/qhistSub
+	sub := i % qhistSub
+	return math.Ldexp(1+float64(sub+1)/qhistSub, e)
+}
+
+// qhistLower returns the lower bound of bucket i.
+func qhistLower(i int) float64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= qhistNBuckets-1:
+		return math.Ldexp(1, qhistMaxExp)
+	}
+	i--
+	e := qhistMinExp + i/qhistSub
+	sub := i % qhistSub
+	return math.Ldexp(1+float64(sub)/qhistSub, e)
+}
+
+// Observe records one value. Safe for concurrent use; zero allocations
+// and no locks on the steady-state path.
+func (h *QHistogram) Observe(v float64) {
+	s := h.pool.Get().(*qshard)
+	s.buckets[qhistIndex(v)].Add(1)
+	s.count.Add(1)
+	for {
+		old := s.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := s.maxBits.Load()
+		if v <= math.Float64frombits(old) {
+			break
+		}
+		if s.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	h.pool.Put(s)
+}
+
+// Count returns the total number of observations.
+func (h *QHistogram) Count() int64 {
+	var n int64
+	for _, s := range *h.shards.Load() {
+		n += s.count.Load()
+	}
+	return n
+}
+
+// Snapshot merges all shards into an immutable point-in-time view.
+func (h *QHistogram) Snapshot() *QSnapshot {
+	snap := &QSnapshot{max: math.Inf(-1)}
+	for _, s := range *h.shards.Load() {
+		snap.count += s.count.Load()
+		snap.sum += math.Float64frombits(s.sumBits.Load())
+		if m := math.Float64frombits(s.maxBits.Load()); m > snap.max {
+			snap.max = m
+		}
+		for i := range s.buckets {
+			snap.counts[i] += s.buckets[i].Load()
+		}
+	}
+	return snap
+}
+
+// QSnapshot is a merged, immutable view of one or more QHistograms.
+type QSnapshot struct {
+	counts [qhistNBuckets]int64
+	count  int64
+	sum    float64
+	max    float64
+}
+
+// Merge folds another snapshot into this one (fleet aggregation).
+func (s *QSnapshot) Merge(o *QSnapshot) {
+	if o == nil {
+		return
+	}
+	s.count += o.count
+	s.sum += o.sum
+	if o.max > s.max {
+		s.max = o.max
+	}
+	for i := range s.counts {
+		s.counts[i] += o.counts[i]
+	}
+}
+
+// qsnapshotJSON is the wire form of a QSnapshot: the bucket array is
+// sparse-encoded (index → count) since latency distributions touch only
+// a handful of the 1026 buckets.
+type qsnapshotJSON struct {
+	Counts map[string]int64 `json:"counts,omitempty"`
+	Count  int64            `json:"count"`
+	Sum    float64          `json:"sum"`
+	Max    float64          `json:"max"`
+}
+
+// MarshalJSON encodes the snapshot for shipping (e.g. per-edge telemetry
+// uploads); the result round-trips through UnmarshalJSON with identical
+// counts, sum, max and quantiles.
+func (s *QSnapshot) MarshalJSON() ([]byte, error) {
+	j := qsnapshotJSON{Count: s.count, Sum: s.sum, Max: s.Max()}
+	for i, n := range s.counts {
+		if n != 0 {
+			if j.Counts == nil {
+				j.Counts = make(map[string]int64)
+			}
+			j.Counts[strconv.Itoa(i)] = n
+		}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes a snapshot produced by MarshalJSON. Bucket
+// indices outside the compiled-in layout are folded into the overflow
+// bucket rather than dropped.
+func (s *QSnapshot) UnmarshalJSON(data []byte) error {
+	var j qsnapshotJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*s = QSnapshot{count: j.Count, sum: j.Sum, max: j.Max}
+	if j.Count == 0 {
+		s.max = math.Inf(-1) // the empty-snapshot sentinel Merge relies on
+	}
+	for k, n := range j.Counts {
+		i, err := strconv.Atoi(k)
+		if err != nil || i < 0 {
+			return fmt.Errorf("obs: bad qsnapshot bucket index %q", k)
+		}
+		if i >= qhistNBuckets {
+			i = qhistNBuckets - 1
+		}
+		s.counts[i] += n
+	}
+	return nil
+}
+
+// Count returns the number of observations in the snapshot.
+func (s *QSnapshot) Count() int64 { return s.count }
+
+// Sum returns the sum of all observations.
+func (s *QSnapshot) Sum() float64 { return s.sum }
+
+// Max returns the largest observation (0 when empty).
+func (s *QSnapshot) Max() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *QSnapshot) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / float64(s.count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) as the midpoint of the
+// bucket containing the nearest rank, clamped to the observed maximum.
+// Returns 0 when the snapshot is empty.
+func (s *QSnapshot) Quantile(q float64) float64 {
+	if s.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank on the merged counts: rank r in [1, count].
+	rank := int64(math.Ceil(q * float64(s.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < qhistNBuckets; i++ {
+		cum += s.counts[i]
+		if cum >= rank {
+			var est float64
+			switch {
+			case i == 0:
+				est = qhistUpper(0)
+			case i == qhistNBuckets-1:
+				est = s.max
+			default:
+				est = (qhistLower(i) + qhistUpper(i)) / 2
+			}
+			if est > s.max {
+				est = s.max
+			}
+			return est
+		}
+	}
+	return s.max
+}
+
+// P50, P90 and P99 are the conventional latency quantiles.
+func (s *QSnapshot) P50() float64 { return s.Quantile(0.50) }
+func (s *QSnapshot) P90() float64 { return s.Quantile(0.90) }
+func (s *QSnapshot) P99() float64 { return s.Quantile(0.99) }
+
+// QSummary is the exported (JSON) form of a quantile histogram, used by
+// the expvar-style snapshot and the end-of-run summary table.
+type QSummary struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Summary condenses the snapshot into its exported form.
+func (s *QSnapshot) Summary() QSummary {
+	return QSummary{
+		Count: s.count,
+		Sum:   s.sum,
+		Max:   s.Max(),
+		P50:   s.P50(),
+		P90:   s.P90(),
+		P99:   s.P99(),
+	}
+}
+
+// QHistogram returns (creating if needed) the named quantile histogram.
+func (r *Registry) QHistogram(name string) *QHistogram {
+	return lookup(r, name, NewQHist)
+}
+
+// NewQHistogram returns the named quantile histogram in the Default
+// registry.
+func NewQHistogram(name string) *QHistogram { return Default.QHistogram(name) }
+
+// QHistVec is a family of quantile histograms keyed by a label value
+// (e.g. HTTP endpoint). Label lookup takes a read lock; hot paths should
+// cache the *QHistogram.
+type QHistVec struct {
+	mu sync.RWMutex
+	m  map[string]*QHistogram
+}
+
+// With returns (creating if needed) the histogram for a label value.
+func (v *QHistVec) With(label string) *QHistogram {
+	v.mu.RLock()
+	h, ok := v.m[label]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok = v.m[label]; ok {
+		return h
+	}
+	h = NewQHist()
+	v.m[label] = h
+	return h
+}
+
+func (v *QHistVec) snapshot() map[string]QSummary {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]QSummary, len(v.m))
+	for k, h := range v.m {
+		out[k] = h.Snapshot().Summary()
+	}
+	return out
+}
+
+// QHistVec returns (creating if needed) the named histogram family.
+func (r *Registry) QHistVec(name string) *QHistVec {
+	return lookup(r, name, func() *QHistVec { return &QHistVec{m: make(map[string]*QHistogram)} })
+}
+
+// NewQHistVec returns the named histogram family in the Default registry.
+func NewQHistVec(name string) *QHistVec { return Default.QHistVec(name) }
