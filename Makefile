@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet lint build test race chaos bench bench-smoke bench-diff trace
+.PHONY: ci fmt-check vet lint lint-registry build test race chaos bench bench-smoke bench-diff trace
 
-ci: fmt-check vet lint build bench-diff race
+ci: fmt-check vet lint lint-registry build bench-diff race
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -17,12 +17,25 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis (cmd/approxlint): eight go/ast+go/types
-# analyzers over the source tree, then the domain validators over the knob
-# registry and the model-zoo graphs.
+# Project-specific static analysis (cmd/approxlint): twelve go/ast+go/types
+# analyzers over the source tree (per-package analysis parallelized with
+# -p 0, findings archived as lint.json), then the domain validators over
+# the knob registry and the model-zoo graphs.
 lint:
-	$(GO) run ./cmd/approxlint ./...
+	$(GO) run ./cmd/approxlint -json -p 0 ./... > lint.json
 	$(GO) run ./cmd/approxlint -ir
+
+# Guard the analyzer inventory: the registry (approxlint -list), the
+# README's analyzer table, and the documented count must all agree, so a
+# new rule cannot land undocumented (or vice versa).
+lint-registry:
+	@want=12; \
+	got=$$($(GO) run ./cmd/approxlint -list | wc -l); \
+	doc=$$(grep -c '^| `[a-z]*` |' README.md); \
+	if [ "$$got" -ne "$$want" ] || [ "$$doc" -ne "$$want" ]; then \
+		echo "analyzer registry mismatch: -list=$$got README table=$$doc want=$$want"; \
+		exit 1; \
+	fi
 
 build:
 	$(GO) build ./...

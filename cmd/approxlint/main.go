@@ -1,21 +1,29 @@
-// Command approxlint runs the project's static-analysis suite: six
-// go/ast+go/types analyzers over the source tree (stdlib-only imports,
-// seeded-RNG determinism, obs-span hygiene, float equality, tensor-kernel
-// aliasing, shared-map lock discipline), plus — with -ir — the
+// Command approxlint runs the project's static-analysis suite: twelve
+// go/ast+go/types analyzers over the source tree — the syntactic rules
+// (stdlib-only imports, seeded-RNG determinism, obs-span hygiene, float
+// equality, tensor-kernel aliasing, shared-map lock discipline, HTTP
+// client defaults, metric naming) and the flow-sensitive rules built on
+// internal/lint/flow (scratch-pool lifecycle, module-wide lock ordering,
+// context cancellation, map-iteration determinism) — plus, with -ir, the
 // domain-level validators over the system's data: the approximation-knob
 // registry against the modeled devices and the dataflow graphs of the
 // model zoo.
 //
 // Usage:
 //
-//	approxlint [-ir] [-list] [packages]
+//	approxlint [-ir] [-list] [-json] [-p N] [packages]
 //
-// Packages default to ./... resolved from the module root. The exit code
-// is 1 when any finding is reported, making the command a CI gate
-// (`make ci` runs both modes).
+// Packages default to ./... resolved from the module root. With -p N the
+// per-package analyses run on N goroutines (0 = GOMAXPROCS); output is
+// byte-identical to a serial run. With -json the findings are emitted as
+// a JSON array on stdout (human-readable lines move to stderr) for
+// tooling; `make lint` archives them as lint.json. The exit code is 1
+// when any finding is reported, making the command a CI gate (`make ci`
+// runs both modes).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,8 +41,10 @@ func main() {
 	irMode := flag.Bool("ir", false, "validate the knob registry and model-zoo graphs instead of source code")
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
 	only := flag.String("only", "", "comma-free single analyzer name to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout (human-readable lines go to stderr)")
+	par := flag.Int("p", 1, "parallel analysis workers (0 = GOMAXPROCS); output is identical to a serial run")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: approxlint [-ir] [-list] [-only analyzer] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: approxlint [-ir] [-list] [-only analyzer] [-json] [-p N] [packages]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -48,11 +58,20 @@ func main() {
 	if *irMode {
 		os.Exit(runIR())
 	}
-	os.Exit(runSource(flag.Args(), *only))
+	os.Exit(runSource(flag.Args(), *only, *jsonOut, *par))
+}
+
+// jsonDiag is the machine-readable rendering of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 // runSource loads the requested packages and applies the analyzer suite.
-func runSource(patterns []string, only string) int {
+func runSource(patterns []string, only string, jsonOut bool, workers int) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -82,9 +101,26 @@ func runSource(patterns []string, only string) int {
 		}
 		runner.Analyzers = []lint.Analyzer{a}
 	}
-	diags := runner.Run(pkgs)
-	for _, d := range diags {
-		fmt.Println(d)
+	diags := runner.RunParallel(pkgs, workers)
+	if jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "approxlint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "approxlint: %d finding(s)\n", len(diags))

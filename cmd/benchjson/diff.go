@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"text/tabwriter"
 )
@@ -43,7 +44,16 @@ func diffSnapshots(w io.Writer, oldRes, newRes []benchResult, threshold float64)
 			fmt.Fprintf(tw, "%s\t-\t%.0f\tnew\t\n", nr.Op, nr.NsPerOp)
 			continue
 		}
-		if or.NsPerOp <= 0 {
+		// A zero, negative, NaN or infinite baseline cannot anchor a
+		// ratio: surface it as a bad baseline instead of silently
+		// skipping the op (a corrupt snapshot would otherwise disable
+		// the gate for exactly the ops it should guard).
+		if !(or.NsPerOp > 0) || math.IsInf(or.NsPerOp, 0) {
+			fmt.Fprintf(tw, "%s\t%g\t%.0f\tbad baseline\t\n", nr.Op, or.NsPerOp, nr.NsPerOp)
+			continue
+		}
+		if !(nr.NsPerOp > 0) || math.IsInf(nr.NsPerOp, 0) {
+			fmt.Fprintf(tw, "%s\t%.0f\t%g\tbad sample\t\n", nr.Op, or.NsPerOp, nr.NsPerOp)
 			continue
 		}
 		delta := nr.NsPerOp/or.NsPerOp - 1

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -78,6 +79,48 @@ func TestDiffAtThresholdBoundary(t *testing.T) {
 	}
 	if n != 0 {
 		t.Fatalf("+20%% exactly should pass, got %d regressions:\n%s", n, sb.String())
+	}
+}
+
+// TestDiffBadBaseline pins the degenerate-snapshot guard: zero,
+// negative, NaN and infinite ns/op values can never anchor a ratio, so
+// they are surfaced as bad rows and never count as (or mask)
+// regressions. The table drives diffSnapshots directly — non-finite
+// values cannot round-trip standard JSON, but a zeroed field from a
+// truncated or hand-edited snapshot decodes to exactly these structs.
+func TestDiffBadBaseline(t *testing.T) {
+	cases := []struct {
+		name     string
+		oldNs    float64
+		newNs    float64
+		wantRow  string
+		wantRegr int
+	}{
+		{"zero baseline", 0, 1500, "bad baseline", 0},
+		{"negative baseline", -100, 1500, "bad baseline", 0},
+		{"nan baseline", math.NaN(), 1500, "bad baseline", 0},
+		{"inf baseline", math.Inf(1), 1500, "bad baseline", 0},
+		{"nan sample", 1000, math.NaN(), "bad sample", 0},
+		{"inf sample", 1000, math.Inf(1), "bad sample", 0},
+		{"healthy pair still gates", 1000, 1500, "REGRESSED", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			oldRes := []benchResult{{Op: "Gemm", NsPerOp: tc.oldNs}, {Op: "Conv", NsPerOp: 2000}}
+			newRes := []benchResult{{Op: "Gemm", NsPerOp: tc.newNs}, {Op: "Conv", NsPerOp: 2100}}
+			var sb strings.Builder
+			regressed := diffSnapshots(&sb, oldRes, newRes, 0.20)
+			if len(regressed) != tc.wantRegr {
+				t.Fatalf("got %d regressions %v, want %d:\n%s", len(regressed), regressed, tc.wantRegr, sb.String())
+			}
+			if !strings.Contains(sb.String(), tc.wantRow) {
+				t.Errorf("diff output missing %q row:\n%s", tc.wantRow, sb.String())
+			}
+			// The healthy sibling op must still be compared either way.
+			if !strings.Contains(sb.String(), "Conv") {
+				t.Errorf("healthy op dropped from the table:\n%s", sb.String())
+			}
+		})
 	}
 }
 

@@ -18,6 +18,10 @@ func AllAnalyzers() []Analyzer {
 		LockGuard{},
 		HTTPDefault{},
 		MetricName{},
+		PoolAudit{},
+		LockOrder{},
+		CtxFlow{},
+		MapOrder{},
 	}
 }
 

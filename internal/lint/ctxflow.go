@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// ctxflow: context lifecycle discipline. Two rules.
+//
+// Rule 1 (everywhere): the CancelFunc returned by context.WithCancel /
+// WithTimeout / WithDeadline must be called on every path of the
+// function that created it — a missed cancel leaks the derived context's
+// timer and goroutine until the parent is cancelled, which for
+// long-lived coordinator contexts is effectively forever. Defer-aware
+// via the shared resource engine; handing the cancel func to another
+// function or storing it transfers ownership. A cancel assigned to the
+// blank identifier is flagged outright.
+//
+// Rule 2 (internal/distrib only): a function that already receives a
+// context.Context must not mint a fresh context.Background()/TODO() —
+// that detaches the request path from the caller's deadline and
+// cancellation, the exact livelock class the chaos suite hunts. The
+// canonical nil-guard (`if ctx == nil { ctx = context.Background() }`)
+// is recognized and allowed.
+
+// CtxFlow flags uncalled context cancel functions and detached contexts
+// in distrib request paths.
+type CtxFlow struct{}
+
+func (CtxFlow) Name() string { return "ctxflow" }
+func (CtxFlow) Doc() string {
+	return "context.CancelFunc must be called on all paths; no fresh Background()/TODO() in distrib functions that receive a ctx"
+}
+
+var ctxCancelCtors = map[string]bool{
+	"WithCancel": true, "WithTimeout": true, "WithDeadline": true,
+	"WithCancelCause": true, "WithTimeoutCause": true, "WithDeadlineCause": true,
+}
+
+func (c CtxFlow) Run(pass *Pass) {
+	c.checkCancelFuncs(pass)
+	c.checkDetachedContexts(pass)
+}
+
+// checkCancelFuncs runs the flow-sensitive release-on-all-paths engine
+// with cancel-function acquire/release matchers.
+func (CtxFlow) checkCancelFuncs(pass *Pass) {
+	// Blank-identifier cancels first: `ctx, _ := context.WithTimeout(...)`
+	// leaks unconditionally and never reaches the dataflow engine
+	// (there is no variable to track).
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 2 || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || !isCtxCancelCtor(pass, call) {
+				return true
+			}
+			if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name == "_" {
+				pass.Reportf(as.Pos(), "cancel function of %s is discarded; the derived context leaks until its parent is cancelled", ctxCtorName(call))
+			}
+			return true
+		})
+	}
+
+	spec := resourceSpec{
+		noun:        "context cancel function",
+		releaseVerb: "cancel()",
+		argEscapes:  true, // handing the cancel func off transfers responsibility
+		acquire: func(pass *Pass, as *ast.AssignStmt) *types.Var {
+			if len(as.Lhs) != 2 || len(as.Rhs) != 1 {
+				return nil
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || !isCtxCancelCtor(pass, call) {
+				return nil
+			}
+			id, ok := as.Lhs[1].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return nil
+			}
+			v, _ := pass.ObjectOf(id).(*types.Var)
+			return v
+		},
+		release: func(pass *Pass, call *ast.CallExpr) *types.Var {
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			v, ok := pass.ObjectOf(id).(*types.Var)
+			if !ok {
+				return nil
+			}
+			return v
+		},
+	}
+	runResourceAnalysis(pass, spec)
+}
+
+// isCtxCancelCtor matches context.WithCancel/WithTimeout/WithDeadline
+// (and their Cause variants).
+func isCtxCancelCtor(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !ctxCancelCtors[sel.Sel.Name] {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.ObjectOf(id).(*types.PkgName)
+	return ok && pkg.Imported().Path() == "context"
+}
+
+func ctxCtorName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return "context." + sel.Sel.Name
+	}
+	return "context constructor"
+}
+
+// ctxflowPkgSuffixes scopes rule 2 to the distributed protocol.
+var ctxflowPkgSuffixes = []string{"internal/distrib"}
+
+// checkDetachedContexts implements rule 2.
+func (CtxFlow) checkDetachedContexts(pass *Pass) {
+	scoped := false
+	for _, s := range ctxflowPkgSuffixes {
+		if strings.HasSuffix(strings.TrimSuffix(pass.Pkg.Path, "_test"), s) {
+			scoped = true
+		}
+	}
+	if !scoped {
+		return
+	}
+	for i, f := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Pkg.Filenames[i], "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParam := contextParam(pass, fd)
+			if ctxParam == nil {
+				continue
+			}
+			allowed := nilGuardPositions(pass, fd.Body, ctxParam)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isCtxRoot(pass, call) {
+					return true
+				}
+				if allowed[call.Pos()] {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"%s inside a function that already receives ctx %q detaches this path from the caller's cancellation; derive from %s instead",
+					ctxCtorName(call), ctxParam.Name(), ctxParam.Name())
+				return true
+			})
+		}
+	}
+}
+
+// contextParam returns the first parameter of type context.Context.
+func contextParam(pass *Pass, fd *ast.FuncDecl) *types.Var {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil || t.String() != "context.Context" {
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := pass.ObjectOf(name).(*types.Var); ok {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// isCtxRoot matches context.Background() and context.TODO().
+func isCtxRoot(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.ObjectOf(id).(*types.PkgName)
+	return ok && pkg.Imported().Path() == "context"
+}
+
+// nilGuardPositions collects Background()/TODO() calls inside the
+// canonical nil-guard `if ctx == nil { ctx = context.Background() }`,
+// which re-attaches a defaulted context rather than detaching a real one.
+func nilGuardPositions(pass *Pass, body *ast.BlockStmt, ctxParam *types.Var) map[token.Pos]bool {
+	allowed := map[token.Pos]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.EQL {
+			return true
+		}
+		id, ok := cond.X.(*ast.Ident)
+		if !ok || pass.ObjectOf(id) != ctxParam {
+			return true
+		}
+		if nilIdent, ok := cond.Y.(*ast.Ident); !ok || nilIdent.Name != "nil" {
+			return true
+		}
+		ast.Inspect(ifs.Body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok && isCtxRoot(pass, call) {
+				allowed[call.Pos()] = true
+			}
+			return true
+		})
+		return true
+	})
+	return allowed
+}

@@ -1,0 +1,354 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses `src` as the body of a single function and returns it.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, file)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// succSet renders reachable edges as "kind->kind" pairs for assertions
+// that do not depend on block indices.
+func succSet(g *Graph) map[string]bool {
+	reach := g.Reachable()
+	out := map[string]bool{}
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, s := range b.Succs {
+			out[b.Kind+"->"+s.Kind] = true
+		}
+	}
+	return out
+}
+
+func wantEdges(t *testing.T, g *Graph, edges ...string) {
+	t.Helper()
+	got := succSet(g)
+	for _, e := range edges {
+		if !got[e] {
+			t.Errorf("missing edge %s\ngraph: %s", e, g)
+		}
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	g := New(parseBody(t, `
+		x := 1
+		if x > 0 {
+			x = 2
+		} else {
+			x = 3
+		}
+		_ = x
+	`))
+	wantEdges(t, g,
+		"entry->if.then", "entry->if.else",
+		"if.then->if.done", "if.else->if.done", "if.done->exit")
+	// Both branches reachable, single join.
+	if len(g.Entry.Succs) != 2 {
+		t.Errorf("entry should have 2 successors, got %d: %s", len(g.Entry.Succs), g)
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := New(parseBody(t, `
+		if cond() {
+			work()
+		}
+		done()
+	`))
+	wantEdges(t, g, "entry->if.then", "entry->if.done", "if.then->if.done", "if.done->exit")
+}
+
+func TestEarlyReturn(t *testing.T) {
+	g := New(parseBody(t, `
+		if bad() {
+			return
+		}
+		work()
+	`))
+	wantEdges(t, g, "entry->if.then", "if.then->exit", "if.done->exit")
+	// The statement after the return-only branch is still reachable via
+	// the fallthrough edge.
+	reach := g.Reachable()
+	if !reach[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// Exit has (at least) two predecessors: the early return and the end
+	// of the function.
+	if len(g.Exit.Preds) < 2 {
+		t.Errorf("exit should have >=2 preds, got %d: %s", len(g.Exit.Preds), g)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	g := New(parseBody(t, `
+		for i := 0; i < 10; i++ {
+			work(i)
+		}
+		done()
+	`))
+	wantEdges(t, g,
+		"entry->for.head", "for.head->for.body", "for.head->for.done",
+		"for.body->for.post", "for.post->for.head", "for.done->exit")
+}
+
+func TestForBreakContinue(t *testing.T) {
+	g := New(parseBody(t, `
+		for i := 0; i < 10; i++ {
+			if skip(i) {
+				continue
+			}
+			if stop(i) {
+				break
+			}
+			work(i)
+		}
+	`))
+	wantEdges(t, g,
+		"if.then->for.post", // continue
+		"if.then->for.done", // break
+	)
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := New(parseBody(t, `
+	outer:
+		for {
+			for {
+				if done() {
+					break outer
+				}
+			}
+		}
+		after()
+	`))
+	// break outer jumps past both loops into the outer loop's done block.
+	got := succSet(g)
+	found := false
+	for e := range got {
+		if strings.HasPrefix(e, "if.then->for.done") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("labeled break does not reach outer for.done: %s", g)
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := New(parseBody(t, `
+		for k, v := range m {
+			use(k, v)
+		}
+		done()
+	`))
+	wantEdges(t, g,
+		"entry->range.head", "range.head->range.body",
+		"range.head->range.done", "range.body->range.head", "range.done->exit")
+	// The RangeStmt itself must be the head node.
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "range.head" {
+			head = b
+		}
+	}
+	if head == nil || len(head.Nodes) != 1 {
+		t.Fatalf("range head should hold exactly the RangeStmt: %s", g)
+	}
+	if _, ok := head.Nodes[0].(*ast.RangeStmt); !ok {
+		t.Fatalf("range head node is %T, want *ast.RangeStmt", head.Nodes[0])
+	}
+	// Inspect must not descend into the body (use(k,v) belongs to the
+	// body block, not the head node).
+	calls := 0
+	Inspect(head.Nodes[0], func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			calls++
+		}
+		return true
+	})
+	if calls != 0 {
+		t.Errorf("Inspect descended into range body: %d calls seen", calls)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := New(parseBody(t, `
+		switch x {
+		case 1:
+			a()
+			fallthrough
+		case 2:
+			b()
+		default:
+			c()
+		}
+		done()
+	`))
+	wantEdges(t, g, "entry->switch.case", "switch.case->switch.case", "switch.case->switch.done", "switch.done->exit")
+	// With a default clause there is no dispatch->done edge.
+	for _, e := range []string{"entry->switch.done"} {
+		if succSet(g)[e] {
+			t.Errorf("unexpected edge %s (switch has a default): %s", e, g)
+		}
+	}
+}
+
+func TestSwitchNoDefault(t *testing.T) {
+	g := New(parseBody(t, `
+		switch x {
+		case 1:
+			a()
+		}
+		done()
+	`))
+	wantEdges(t, g, "entry->switch.done")
+}
+
+func TestSelect(t *testing.T) {
+	g := New(parseBody(t, `
+		select {
+		case <-ch:
+			a()
+		case v := <-ch2:
+			use(v)
+		}
+	`))
+	wantEdges(t, g, "entry->select.case", "select.case->select.done", "select.done->exit")
+}
+
+func TestGoto(t *testing.T) {
+	g := New(parseBody(t, `
+		i := 0
+	loop:
+		i++
+		if i < 10 {
+			goto loop
+		}
+	`))
+	wantEdges(t, g, "if.then->label.loop", "entry->label.loop")
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g := New(parseBody(t, `
+		if bad() {
+			panic("boom")
+		}
+		work()
+	`))
+	// The panic path goes straight to exit; work() is only on the clean path.
+	wantEdges(t, g, "if.then->exit", "if.done->exit")
+}
+
+func TestDeferInLoopCollected(t *testing.T) {
+	g := New(parseBody(t, `
+		for i := 0; i < 3; i++ {
+			defer cleanup(i)
+		}
+		defer final()
+	`))
+	if len(g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(g.Defers))
+	}
+	// The in-loop defer must sit inside the loop body block so a
+	// dataflow pass sees it once per iteration via the back edge.
+	var bodyHasDefer bool
+	for _, b := range g.Blocks {
+		if b.Kind == "for.body" {
+			for _, n := range b.Nodes {
+				if _, ok := n.(*ast.DeferStmt); ok {
+					bodyHasDefer = true
+				}
+			}
+		}
+	}
+	if !bodyHasDefer {
+		t.Errorf("in-loop defer not in for.body: %s", g)
+	}
+}
+
+func TestUnreachableAfterReturn(t *testing.T) {
+	g := New(parseBody(t, `
+		return
+		work()
+	`))
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "work" && reach[b] {
+						t.Errorf("work() after return should be unreachable: %s", g)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeterministicConstruction pins that building the same body twice
+// yields the identical structure (the parallel runner depends on it).
+func TestDeterministicConstruction(t *testing.T) {
+	src := `
+		for k := range m {
+			if k > 2 {
+				break
+			}
+			switch k {
+			case 1:
+				a()
+			default:
+				b()
+			}
+		}
+	`
+	g1 := New(parseBody(t, src))
+	g2 := New(parseBody(t, src))
+	if g1.String() != g2.String() {
+		t.Errorf("nondeterministic construction:\n%s\n%s", g1, g2)
+	}
+}
+
+// Example-style sanity: every block's Succs/Preds are mutually
+// consistent.
+func TestEdgeConsistency(t *testing.T) {
+	g := New(parseBody(t, `
+		for i := range xs {
+			if i == 0 {
+				continue
+			}
+			work(i)
+		}
+	`))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			found := false
+			for _, p := range s.Preds {
+				if p == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge %d->%d missing from preds", b.Index, s.Index)
+			}
+		}
+	}
+	_ = fmt.Sprint(g)
+}

@@ -1,0 +1,66 @@
+package flow
+
+import "go/ast"
+
+// Forward is a forward dataflow problem over a Graph. The fact type F is
+// caller-defined; the four functions describe the join-semilattice and
+// the transfer function. Join must be monotone and the lattice of finite
+// height, or the solver will not terminate.
+type Forward[F any] struct {
+	// Entry is the boundary fact at function entry.
+	Entry F
+	// Clone returns an independent copy of a fact (facts may be mutable
+	// maps; the solver never aliases a fact it hands to Transfer).
+	Clone func(F) F
+	// Join merges src into dst, returning the merged fact and whether it
+	// changed relative to dst. dst may be mutated and returned.
+	Join func(dst, src F) (F, bool)
+	// Transfer applies one block node to the fact. It may mutate and
+	// return its argument.
+	Transfer func(F, ast.Node) F
+}
+
+// Solve runs the worklist iteration to a fixpoint and returns the fact
+// at the entry of every reachable block. Unreachable blocks have no
+// entry in the map. Iteration order is deterministic (block index
+// order), so analyses built on top produce identical diagnostics run
+// over run.
+func (a Forward[F]) Solve(g *Graph) map[*Block]F {
+	in := make(map[*Block]F, len(g.Blocks))
+	in[g.Entry] = a.Clone(a.Entry)
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range g.Blocks {
+			f, ok := in[blk]
+			if !ok {
+				continue
+			}
+			out := a.FlowThrough(blk, f)
+			for _, s := range blk.Succs {
+				cur, ok := in[s]
+				if !ok {
+					in[s] = a.Clone(out)
+					changed = true
+					continue
+				}
+				merged, ch := a.Join(cur, a.Clone(out))
+				in[s] = merged
+				if ch {
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// FlowThrough applies the block's nodes to a copy of the entry fact and
+// returns the block's exit fact — used by Solve and by reporting passes
+// that re-walk blocks with the solved entry facts.
+func (a Forward[F]) FlowThrough(blk *Block, entry F) F {
+	out := a.Clone(entry)
+	for _, n := range blk.Nodes {
+		out = a.Transfer(out, n)
+	}
+	return out
+}

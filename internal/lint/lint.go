@@ -27,8 +27,11 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Diagnostic is one finding: a position, the analyzer that produced it and
@@ -46,7 +49,8 @@ func (d Diagnostic) String() string {
 // Analyzer is one static-analysis rule. Implementations receive a fully
 // parsed and type-checked package via the Pass and report findings through
 // it. Analyzers must be stateless across passes (the runner reuses them
-// for every package).
+// for every package, and the parallel runner invokes Run concurrently on
+// different packages).
 type Analyzer interface {
 	// Name is the stable identifier used in diagnostics and in
 	// //lint:ignore directives (lowercase, no spaces).
@@ -55,6 +59,17 @@ type Analyzer interface {
 	Doc() string
 	// Run analyzes one package.
 	Run(pass *Pass)
+}
+
+// ModuleAnalyzer is an Analyzer that needs the whole module at once —
+// e.g. lockorder, whose deadlock cycles span functions in different
+// packages. The runner calls RunModule exactly once per run, after the
+// per-package phase, with one Pass per package in deterministic
+// (load-order) sequence; Run is still invoked per package and is
+// typically a no-op.
+type ModuleAnalyzer interface {
+	Analyzer
+	RunModule(passes []*Pass)
 }
 
 // Pass carries one type-checked package through an analyzer.
@@ -95,6 +110,29 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	return p.Pkg.Info.Uses[id]
 }
 
+// IgnoredAt reports whether a well-formed //lint:ignore directive
+// covering this pass's analyzer sits on pos's line or the line directly
+// above. Flow-sensitive analyzers use it to honor a suppression placed
+// on the acquisition site (the Scratch/WithCancel line) even though the
+// diagnostic itself is reported at the leak point, which may be many
+// lines away on another path.
+func (p *Pass) IgnoredAt(pos token.Pos) bool {
+	f := p.FileOf(pos)
+	if f == nil {
+		return false
+	}
+	line := p.Fset.Position(pos).Line
+	for _, d := range parseDirectives(p.Fset, f) {
+		if d.reason == "" || !d.covers(p.analyzer) {
+			continue
+		}
+		if d.pos.Line == line || d.pos.Line == line-1 {
+			return true
+		}
+	}
+	return false
+}
+
 // FileOf returns the *ast.File containing pos (nil if none).
 func (p *Pass) FileOf(pos token.Pos) *ast.File {
 	for _, f := range p.Pkg.Files {
@@ -121,16 +159,68 @@ func NewRunner() *Runner {
 	return &Runner{Analyzers: AllAnalyzers()}
 }
 
-// Run analyzes every package and returns the surviving (unsuppressed)
-// diagnostics sorted by file position.
+// Run analyzes every package serially and returns the surviving
+// (unsuppressed) diagnostics sorted by file position. Equivalent to
+// RunParallel(pkgs, 1); the output is byte-identical regardless of
+// worker count.
 func (r *Runner) Run(pkgs []*Package) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range r.Analyzers {
-			pass := &Pass{Fset: pkg.Fset, Pkg: pkg, analyzer: a.Name(), diags: &diags}
-			a.Run(pass)
-		}
+	return r.RunParallel(pkgs, 1)
+}
+
+// RunParallel is Run with the per-package analyzer phase fanned out over
+// `workers` goroutines (workers <= 0 means GOMAXPROCS). Each package
+// collects into its own slice and results are merged in package order;
+// module-wide analyzers then run once, serially; the final sort is total
+// (position, analyzer, message), so diagnostics are byte-identical
+// across serial and parallel runs.
+func (r *Runner) RunParallel(pkgs []*Package, workers int) []Diagnostic {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(pkgs) && len(pkgs) > 0 {
+		workers = len(pkgs)
+	}
+
+	perPkg := make([][]Diagnostic, len(pkgs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pkgs) {
+					return
+				}
+				pkg := pkgs[i]
+				for _, a := range r.Analyzers {
+					pass := &Pass{Fset: pkg.Fset, Pkg: pkg, analyzer: a.Name(), diags: &perPkg[i]}
+					a.Run(pass)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
+	}
+
+	// Module-wide phase: one call per module analyzer over every package.
+	for _, a := range r.Analyzers {
+		ma, ok := a.(ModuleAnalyzer)
+		if !ok {
+			continue
+		}
+		passes := make([]*Pass, len(pkgs))
+		for i, pkg := range pkgs {
+			passes[i] = &Pass{Fset: pkg.Fset, Pkg: pkg, analyzer: a.Name(), diags: &diags}
+		}
+		ma.RunModule(passes)
+	}
+
 	diags = applySuppressions(pkgs, diags, r.names())
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -143,7 +233,10 @@ func (r *Runner) Run(pkgs []*Package) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return diags
 }

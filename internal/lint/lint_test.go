@@ -65,6 +65,10 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		"internal/parallel",
 		"httpdefault",
 		"metricname",
+		"poolaudit",
+		"lockorder",
+		"internal/distrib",
+		"maporder",
 	}
 	for _, fx := range fixtures {
 		t.Run(strings.ReplaceAll(fx, "/", "_"), func(t *testing.T) {
@@ -121,6 +125,64 @@ func TestDirectiveFindings(t *testing.T) {
 	}
 }
 
+// TestFlowIgnoreInteraction pins the flow-analyzer suppression contract:
+// a reasoned //lint:ignore on the ACQUIRE line suppresses the
+// path-dependent leak diagnostic reported at the (distant) leak site; a
+// reason-less directive suppresses nothing and is itself a finding.
+func TestFlowIgnoreInteraction(t *testing.T) {
+	pkgs := loadFixture(t, "flowignore")
+	diags := NewRunner().Run(pkgs)
+
+	var pool, malformed []Diagnostic
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "poolaudit":
+			pool = append(pool, d)
+		case d.Analyzer == "lintdirective" && strings.Contains(d.Message, "malformed"):
+			malformed = append(malformed, d)
+		}
+	}
+	if len(pool) != 1 {
+		t.Fatalf("got %d poolaudit findings, want exactly 1 (the malformed-directive leak): %v", len(pool), pool)
+	}
+	if len(malformed) != 1 {
+		t.Fatalf("got %d malformed-directive findings, want 1: %v", len(malformed), malformed)
+	}
+	// The surviving leak must be the one under the reason-less directive,
+	// i.e. strictly after the malformed directive's own line.
+	if pool[0].Pos.Line <= malformed[0].Pos.Line {
+		t.Errorf("surviving poolaudit finding at line %d is not below the malformed directive at line %d — the reasoned suppression leaked through",
+			pool[0].Pos.Line, malformed[0].Pos.Line)
+	}
+}
+
+// TestParallelDeterminism pins byte-identical output across serial and
+// parallel runs over a multi-package load — the ordering guarantee
+// cmd/approxlint -p relies on.
+func TestParallelDeterminism(t *testing.T) {
+	var pkgs []*Package
+	for _, fx := range []string{"poolaudit", "lockorder", "maporder", "internal/distrib", "floateq", "metricname"} {
+		pkgs = append(pkgs, loadFixture(t, fx)...)
+	}
+	render := func(diags []Diagnostic) string {
+		var sb strings.Builder
+		for _, d := range diags {
+			sb.WriteString(d.String())
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	serial := render(NewRunner().RunParallel(pkgs, 1))
+	if serial == "" {
+		t.Fatal("fixture load produced no diagnostics; determinism check is vacuous")
+	}
+	for _, workers := range []int{2, 4, 0} {
+		if got := render(NewRunner().RunParallel(pkgs, workers)); got != serial {
+			t.Errorf("RunParallel(%d) output differs from serial run:\n--- serial ---\n%s--- parallel ---\n%s", workers, serial, got)
+		}
+	}
+}
+
 // TestDiagnosticFormat pins the file:line:col rendering the CI gate and
 // editors rely on.
 func TestDiagnosticFormat(t *testing.T) {
@@ -139,10 +201,11 @@ func TestDiagnosticFormat(t *testing.T) {
 	}
 }
 
-// TestAnalyzerRegistry checks the suite covers the eight project rules
+// TestAnalyzerRegistry checks the suite covers the twelve project rules
 // and that names resolve.
 func TestAnalyzerRegistry(t *testing.T) {
-	names := []string{"stdlibonly", "detrand", "spanend", "floateq", "tensoralias", "lockguard", "httpdefault", "metricname"}
+	names := []string{"stdlibonly", "detrand", "spanend", "floateq", "tensoralias", "lockguard", "httpdefault", "metricname",
+		"poolaudit", "lockorder", "ctxflow", "maporder"}
 	all := AllAnalyzers()
 	if len(all) != len(names) {
 		t.Fatalf("suite has %d analyzers, want %d", len(all), len(names))

@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ---------------------------------------------------------------------------
+// maporder: determinism discipline for map iteration. Go randomizes map
+// range order per iteration, so any value that flows from a map range
+// into an ordered artifact — a slice built by append, bytes written to a
+// writer or encoder — is nondeterministic unless sorted. In this
+// codebase that matters twice over: tradeoff-curve construction and
+// telemetry/wire emission must be byte-identical across runs for the
+// golden tests and the install-time protocol digests to hold.
+//
+// Two patterns are flagged inside a `for k, v := range m` over a map:
+//
+//  1. `s = append(s, ...k/v...)` where s outlives the loop, unless a
+//     sort.*/slices.Sort* call mentioning s appears after the range in
+//     the same function (the canonical collect-then-sort idiom stays
+//     clean);
+//  2. writer/encoder sinks whose arguments mention k or v
+//     (Write/WriteString/WriteByte/WriteRune/Encode methods and
+//     fmt.Fprint*/fmt.Print*), which serialize iteration order directly.
+//
+// Values laundered through an intermediate variable before the append or
+// write are not tracked (one-step dataflow by design; DESIGN.md §7).
+
+// MapOrder flags map iteration order leaking into ordered output.
+type MapOrder struct{}
+
+func (MapOrder) Name() string { return "maporder" }
+func (MapOrder) Doc() string {
+	return "map range order must not flow into appended slices or writers/encoders without sorting"
+}
+
+func (mo MapOrder) Run(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				mo.checkFunc(pass, fd.Body)
+			}
+		}
+	}
+}
+
+func (mo MapOrder) checkFunc(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		iterVars := rangeIterVars(pass, rng)
+		if len(iterVars) == 0 {
+			return true // `for range m {}` carries no order information
+		}
+		mo.checkRange(pass, body, rng, iterVars)
+		return true
+	})
+}
+
+// rangeIterVars returns the key/value loop variables of the range.
+func rangeIterVars(pass *Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.ObjectOf(id); obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// sinkMethods serialize their arguments in call order.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true,
+}
+
+// fmtSinks are the fmt functions that emit (Sprintf et al. build values
+// and are judged by where the value lands, not here).
+var fmtSinks = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func (mo MapOrder) checkRange(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, iterVars map[types.Object]bool) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		// Nested ranges are deliberately descended into: a mention of the
+		// outer key inside an inner loop still leaks the outer order.
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			mo.checkAppend(pass, fnBody, rng, node, iterVars)
+		case *ast.CallExpr:
+			if name, ok := sinkName(pass, node); ok && mentionsAny(pass, node.Args, iterVars) {
+				pass.Reportf(node.Pos(),
+					"map iteration order reaches %s; iterate over sorted keys for deterministic output", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkAppend flags `s = append(s, ...k...)` when s outlives the range
+// and is not sorted afterwards.
+func (mo MapOrder) checkAppend(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, as *ast.AssignStmt, iterVars map[types.Object]bool) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) || len(call.Args) == 0 {
+			continue
+		}
+		if !mentionsAny(pass, call.Args[1:], iterVars) {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		// A slice declared inside the range body is rebuilt every
+		// iteration and carries no cross-iteration order.
+		if rng.Body.Pos() <= obj.Pos() && obj.Pos() <= rng.Body.End() {
+			continue
+		}
+		if sortedAfter(pass, fnBody, rng.End(), obj) {
+			continue
+		}
+		pass.Reportf(as.Pos(),
+			"%q accumulates map range values in nondeterministic order; sort %q after the loop or range over sorted keys", id.Name, id.Name)
+	}
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// sortFuncs are the sort/slices package functions accepted as fixing the
+// order of a collected slice.
+var sortFuncs = map[string]bool{
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+// sortedAfter reports whether a sort.*/slices.* call mentioning obj
+// appears after pos inside body.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !sortFuncs[sel.Sel.Name] {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg, ok := pass.ObjectOf(pkgID).(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pkg.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if mentionsAny(pass, call.Args, map[types.Object]bool{obj: true}) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// sinkName classifies a call as an order-serializing sink.
+func sinkName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := pass.ObjectOf(id).(*types.PkgName); ok {
+			if pkg.Imported().Path() == "fmt" && fmtSinks[sel.Sel.Name] {
+				return "fmt." + sel.Sel.Name, true
+			}
+			return "", false // other package-level calls are not sinks
+		}
+	}
+	if sinkMethods[sel.Sel.Name] {
+		return exprString(sel.X) + "." + sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// mentionsAny reports whether any expression's subtree resolves to one
+// of the given objects.
+func mentionsAny(pass *Pass, exprs []ast.Expr, objs map[types.Object]bool) bool {
+	for _, e := range exprs {
+		hit := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && objs[pass.ObjectOf(id)] {
+				hit = true
+				return false
+			}
+			return true
+		})
+		if hit {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+// Package flowignore is a lint fixture: //lint:ignore interaction with
+// the flow-sensitive analyzers. A reasoned directive on the ACQUIRE line
+// suppresses the path-dependent diagnostic even though it is reported at
+// the leak site, lines away; a reason-less directive suppresses nothing
+// and is itself a finding. Expectations live in TestFlowIgnoreInteraction
+// (directive lines cannot carry // want markers — the marker text would
+// parse as the directive's reason).
+package flowignore
+
+import "repro/internal/tensor"
+
+func use(buf []float32) {}
+
+// SuppressedAtAcquire: leak on the early return, suppressed from the
+// acquire site.
+func SuppressedAtAcquire(n int) bool {
+	//lint:ignore poolaudit arena is torn down wholesale after the batch
+	buf := tensor.Scratch(n)
+	if n > 64 {
+		return false
+	}
+	use(buf)
+	tensor.Release(buf)
+	return true
+}
+
+// MalformedAtAcquire: the directive has no reason, so the leak below is
+// still reported and the directive itself becomes a lintdirective
+// finding.
+func MalformedAtAcquire(n int) bool {
+	//lint:ignore poolaudit
+	buf := tensor.Scratch(n)
+	if n > 64 {
+		return false
+	}
+	use(buf)
+	tensor.Release(buf)
+	return true
+}

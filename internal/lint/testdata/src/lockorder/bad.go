@@ -1,0 +1,101 @@
+// Package lockorder is a lint fixture: module-wide lock-acquisition
+// ordering. Opposite acquisition orders of the same mutex pair — direct
+// or through a call — form a cycle; re-locking a held mutex is a
+// guaranteed self-deadlock.
+package lockorder
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// TransferAB locks A then B. Together with TransferBA below this forms
+// an ordering cycle; the report lands on the acquisition completing the
+// canonical (smallest-key-first) cycle.
+func TransferAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want lockorder
+	b.n += a.n
+	b.mu.Unlock()
+}
+
+// TransferBA locks B then A — the reverse order.
+func TransferBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	a.n += b.n
+	a.mu.Unlock()
+}
+
+// Recurse re-locks the mutex it already holds.
+func Recurse(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want lockorder
+	a.n++
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+func bumpD(d *D) {
+	d.mu.Lock()
+	d.n++
+	d.mu.Unlock()
+}
+
+// CallWhileHolding acquires D.mu transitively through bumpD while
+// holding C.mu; ReverseDC takes them in the opposite order. The witness
+// chain in the diagnostic names the call.
+func CallWhileHolding(c *C, d *D) {
+	c.mu.Lock()
+	bumpD(d) // want lockorder
+	c.mu.Unlock()
+}
+
+// ReverseDC locks D then C directly.
+func ReverseDC(c *C, d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c.mu.Lock()
+	c.n += d.n
+	c.mu.Unlock()
+}
+
+// SameOrderTwice repeats an existing order — consistent, no cycle, no
+// report.
+func SameOrderTwice(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// SequentialNotNested unlocks before the next acquisition — no overlap,
+// no ordering constraint.
+func SequentialNotNested(a *A, b *B) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}

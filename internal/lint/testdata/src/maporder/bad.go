@@ -1,0 +1,90 @@
+// Package maporder is a lint fixture: map iteration determinism. Map
+// range order must not reach ordered artifacts — appended slices,
+// writers, encoders — unless the result is sorted afterwards.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// SortedKeys is the canonical collect-then-sort idiom — clean.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// UnsortedAppend accumulates values in iteration order and never sorts.
+func UnsortedAppend(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v) // want maporder
+	}
+	return vals
+}
+
+// DirectEmit serializes pairs straight to the writer in range order.
+func DirectEmit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want maporder
+	}
+}
+
+// BuilderEmit streams keys into a strings.Builder in range order.
+func BuilderEmit(sb *strings.Builder, m map[string]float64) {
+	for k := range m {
+		sb.WriteString(k) // want maporder
+	}
+}
+
+type pair struct {
+	k string
+	v int
+}
+
+// SortSliceAfter fixes the collected order with sort.Slice — clean.
+func SortSliceAfter(m map[string]int) []pair {
+	var ps []pair
+	for k, v := range m {
+		ps = append(ps, pair{k, v})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].k < ps[j].k })
+	return ps
+}
+
+// Aggregate folds values commutatively; no order reaches the result —
+// clean.
+func Aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// PerIteration builds a fresh slice every iteration: nothing accumulates
+// across iterations — clean.
+func PerIteration(m map[string][]int, emit func([]int)) {
+	for _, vs := range m {
+		row := append([]int(nil), vs...)
+		emit(row)
+	}
+}
+
+// NestedOuterLeak appends the outer key from inside an inner loop; the
+// outer map's order still leaks.
+func NestedOuterLeak(m map[string][]int) []string {
+	var out []string
+	for k, vs := range m {
+		for range vs {
+			out = append(out, k) // want maporder
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+// Package poolaudit is a lint fixture: scratch-pool lifecycle. A buffer
+// from tensor.Scratch must reach tensor.Release on every path, exactly
+// once, and never be touched afterwards; handing the buffer away
+// (return, store, capture) transfers the obligation to the new owner.
+package poolaudit
+
+import "repro/internal/tensor"
+
+func use(buf []float32) {}
+
+// DeferRelease is the canonical pattern — clean.
+func DeferRelease(n int) {
+	buf := tensor.Scratch(n)
+	defer tensor.Release(buf)
+	use(buf)
+}
+
+// ReleaseAllPaths releases explicitly on both paths — clean.
+func ReleaseAllPaths(n int, early bool) {
+	buf := tensor.Scratch(n)
+	if early {
+		tensor.Release(buf)
+		return
+	}
+	use(buf)
+	tensor.Release(buf)
+}
+
+// LeakOnEarlyReturn misses Release on the error path — flagged at the
+// leaking return, not at the (healthy) main path.
+func LeakOnEarlyReturn(n int) bool {
+	buf := tensor.Scratch(n)
+	if n > 64 {
+		return false // want poolaudit
+	}
+	use(buf)
+	tensor.Release(buf)
+	return true
+}
+
+// LeakNoRelease never releases — flagged where the function falls off
+// the end.
+func LeakNoRelease(n int) {
+	buf := tensor.Scratch(n)
+	use(buf) // want poolaudit
+}
+
+// DoubleRelease releases twice on the same path.
+func DoubleRelease(n int) {
+	buf := tensor.Scratch(n)
+	use(buf)
+	tensor.Release(buf)
+	tensor.Release(buf) // want poolaudit
+}
+
+// MayDoubleRelease releases conditionally and then unconditionally: on
+// the branch-taken path the second Release is a double free.
+func MayDoubleRelease(n int, flag bool) {
+	buf := tensor.Scratch(n)
+	if flag {
+		tensor.Release(buf)
+	}
+	tensor.Release(buf) // want poolaudit
+}
+
+// UseAfterRelease reads the buffer after a definite release.
+func UseAfterRelease(n int) float32 {
+	buf := tensor.Scratch(n)
+	tensor.Release(buf)
+	x := buf[0] // want poolaudit
+	return x
+}
+
+// DeferInLoop registers a release of the same live value once per
+// iteration: every defer after the first releases an already-covered
+// buffer.
+func DeferInLoop(n int) {
+	buf := tensor.Scratch(n)
+	for i := 0; i < 3; i++ {
+		defer tensor.Release(buf) // want poolaudit
+	}
+}
+
+// FreshPerIteration re-acquires and defers each iteration — clean: each
+// defer covers that iteration's value.
+func FreshPerIteration(rows int) {
+	for i := 0; i < rows; i++ {
+		buf := tensor.Scratch(rows)
+		defer tensor.Release(buf)
+		use(buf)
+	}
+}
+
+// PartialRelease borrows a re-slice and releases through one — both
+// recognized as operations on the tracked buffer.
+func PartialRelease(n int) {
+	buf := tensor.Scratch(n)
+	use(buf[:n/2])
+	tensor.Release(buf[:n])
+}
+
+// ReturnsOwnership hands the buffer to the caller — not this function's
+// leak, and callers of this helper own a pooled buffer just as if they
+// had called Scratch.
+func ReturnsOwnership(n int) []float32 {
+	buf := tensor.Scratch(n)
+	return buf
+}
+
+// CallerAudited acquires from the local pool-returner above and leaks on
+// the short-circuit path.
+func CallerAudited(n int) int {
+	buf := ReturnsOwnership(n)
+	if n == 0 {
+		return 0 // want poolaudit
+	}
+	tensor.Release(buf)
+	return n
+}
+
+type cache struct{ buf []float32 }
+
+// Stored acquires straight into a field — ownership never binds to a
+// local, out of scope here.
+func Stored(n int, c *cache) {
+	c.buf = tensor.Scratch(n)
+}
+
+// Captured transfers the buffer into a closure; the closure owns it.
+func Captured(n int) func() {
+	buf := tensor.Scratch(n)
+	return func() { tensor.Release(buf) }
+}
