@@ -57,19 +57,20 @@ chaos:
 
 # Kernel benchmarks (full benchtime) plus one pass of the end-to-end
 # per-figure experiment benchmarks, with allocation stats, parsed into
-# the committed BENCH_PR6.json snapshot (cmd/benchjson). Regenerate
+# the committed BENCH_PR8.json snapshot (cmd/benchjson). Regenerate
 # after kernel work, then gate future changes with
-# `benchjson -diff BENCH_PR6.json new.json`.
+# `benchjson -diff BENCH_PR8.json new.json`. BENCH_PR6.json is the
+# pre-pack-cache baseline kept for the before/after comparison.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/tensorops > bench.out
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . >> bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_PR6.json < bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR8.json < bench.out
 	@rm bench.out
 
 # Perf-gate smoke: the diff mode must parse the committed snapshot and a
-# self-comparison must report zero regressions.
+# self-comparison must report zero regressions (time and allocs/op).
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_PR6.json BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -diff BENCH_PR8.json BENCH_PR8.json
 
 # One-iteration smoke run of every benchmark in the module.
 bench-smoke:

@@ -22,11 +22,35 @@ func loadSnapshot(path string) ([]benchResult, error) {
 	return results, nil
 }
 
+// allocsCell formats an allocs/op value for the delta table; -1 is the
+// "not measured" sentinel (the run lacked -benchmem).
+func allocsCell(v int64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// allocsRegressed reports whether allocs/op grew by more than threshold.
+// Unmeasured values (-1) never gate: losing -benchmem on one side is a
+// harness change, not a regression. Growth from a zero baseline is always
+// a regression — the pooled kernels pin "zero allocations steady-state"
+// as a property, and no ratio can express its loss.
+func allocsRegressed(old, new int64, threshold float64) bool {
+	if old < 0 || new < 0 || new <= old {
+		return false
+	}
+	if old == 0 {
+		return true
+	}
+	return float64(new) > float64(old)*(1+threshold)
+}
+
 // diffSnapshots compares two snapshots op by op, writes a delta table,
-// and returns the names of ops whose ns/op regressed by more than
-// threshold (0.20 = 20%). Ops present in only one snapshot are listed
-// but never count as regressions — a renamed or new benchmark is not a
-// slowdown.
+// and returns the names of ops whose ns/op or allocs/op regressed by more
+// than threshold (0.20 = 20%). Ops present in only one snapshot are
+// listed but never count as regressions — a renamed or new benchmark is
+// not a slowdown.
 func diffSnapshots(w io.Writer, oldRes, newRes []benchResult, threshold float64) []string {
 	oldByOp := make(map[string]benchResult, len(oldRes))
 	for _, r := range oldRes {
@@ -36,12 +60,12 @@ func diffSnapshots(w io.Writer, oldRes, newRes []benchResult, threshold float64)
 
 	var regressed []string
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "op\told ns/op\tnew ns/op\tdelta\t\n")
+	fmt.Fprintf(tw, "op\told ns/op\tnew ns/op\tdelta\told allocs\tnew allocs\t\n")
 	for _, nr := range newRes {
 		newOps[nr.Op] = true
 		or, ok := oldByOp[nr.Op]
 		if !ok {
-			fmt.Fprintf(tw, "%s\t-\t%.0f\tnew\t\n", nr.Op, nr.NsPerOp)
+			fmt.Fprintf(tw, "%s\t-\t%.0f\tnew\t-\t%s\t\n", nr.Op, nr.NsPerOp, allocsCell(nr.AllocsPerOp))
 			continue
 		}
 		// A zero, negative, NaN or infinite baseline cannot anchor a
@@ -49,11 +73,11 @@ func diffSnapshots(w io.Writer, oldRes, newRes []benchResult, threshold float64)
 		// skipping the op (a corrupt snapshot would otherwise disable
 		// the gate for exactly the ops it should guard).
 		if !(or.NsPerOp > 0) || math.IsInf(or.NsPerOp, 0) {
-			fmt.Fprintf(tw, "%s\t%g\t%.0f\tbad baseline\t\n", nr.Op, or.NsPerOp, nr.NsPerOp)
+			fmt.Fprintf(tw, "%s\t%g\t%.0f\tbad baseline\t\t\t\n", nr.Op, or.NsPerOp, nr.NsPerOp)
 			continue
 		}
 		if !(nr.NsPerOp > 0) || math.IsInf(nr.NsPerOp, 0) {
-			fmt.Fprintf(tw, "%s\t%.0f\t%g\tbad sample\t\n", nr.Op, or.NsPerOp, nr.NsPerOp)
+			fmt.Fprintf(tw, "%s\t%.0f\t%g\tbad sample\t\t\t\n", nr.Op, or.NsPerOp, nr.NsPerOp)
 			continue
 		}
 		delta := nr.NsPerOp/or.NsPerOp - 1
@@ -61,12 +85,17 @@ func diffSnapshots(w io.Writer, oldRes, newRes []benchResult, threshold float64)
 		if delta > threshold {
 			flag = "REGRESSED"
 			regressed = append(regressed, nr.Op)
+		} else if allocsRegressed(or.AllocsPerOp, nr.AllocsPerOp, threshold) {
+			flag = "ALLOCS REGRESSED"
+			regressed = append(regressed, nr.Op)
 		}
-		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\n", nr.Op, or.NsPerOp, nr.NsPerOp, delta*100, flag)
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\t%s\t%s\n",
+			nr.Op, or.NsPerOp, nr.NsPerOp, delta*100,
+			allocsCell(or.AllocsPerOp), allocsCell(nr.AllocsPerOp), flag)
 	}
 	for _, or := range oldRes {
 		if !newOps[or.Op] {
-			fmt.Fprintf(tw, "%s\t%.0f\t-\tremoved\t\n", or.Op, or.NsPerOp)
+			fmt.Fprintf(tw, "%s\t%.0f\t-\tremoved\t%s\t-\t\n", or.Op, or.NsPerOp, allocsCell(or.AllocsPerOp))
 		}
 	}
 	tw.Flush()

@@ -124,6 +124,60 @@ func TestDiffBadBaseline(t *testing.T) {
 	}
 }
 
+// TestDiffAllocsGate drives the allocs/op regression gate through its
+// table of edge cases: growth over threshold fails, growth within budget
+// passes, unmeasured sides (-1 sentinel) never gate, and any growth from
+// a zero-alloc baseline fails (the pooled kernels pin zero steady-state
+// allocations; no ratio can express losing that).
+func TestDiffAllocsGate(t *testing.T) {
+	cases := []struct {
+		name     string
+		oldAl    int64
+		newAl    int64
+		wantRegr int
+	}{
+		{"flat", 10, 10, 0},
+		{"improved", 10, 5, 0},
+		{"within budget", 10, 12, 0}, // +20% exactly: gate fires strictly above
+		{"over budget", 10, 13, 1},   // +30%
+		{"zero baseline growth", 0, 1, 1},
+		{"zero to zero", 0, 0, 0},
+		{"old unmeasured", -1, 50, 0},
+		{"new unmeasured", 40, -1, 0},
+		{"both unmeasured", -1, -1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			oldRes := []benchResult{{Op: "Gemm", NsPerOp: 1000, AllocsPerOp: tc.oldAl}}
+			newRes := []benchResult{{Op: "Gemm", NsPerOp: 1000, AllocsPerOp: tc.newAl}}
+			var sb strings.Builder
+			regressed := diffSnapshots(&sb, oldRes, newRes, 0.20)
+			if len(regressed) != tc.wantRegr {
+				t.Fatalf("got %d regressions %v, want %d:\n%s",
+					len(regressed), regressed, tc.wantRegr, sb.String())
+			}
+			if tc.wantRegr > 0 && !strings.Contains(sb.String(), "ALLOCS REGRESSED") {
+				t.Errorf("alloc regression not flagged in table:\n%s", sb.String())
+			}
+		})
+	}
+}
+
+// TestDiffAllocsAndTimeBothRegressed: an op that regresses on both axes
+// is reported once (as a time regression — the stronger signal).
+func TestDiffAllocsAndTimeBothRegressed(t *testing.T) {
+	oldRes := []benchResult{{Op: "Gemm", NsPerOp: 1000, AllocsPerOp: 2}}
+	newRes := []benchResult{{Op: "Gemm", NsPerOp: 2000, AllocsPerOp: 20}}
+	var sb strings.Builder
+	regressed := diffSnapshots(&sb, oldRes, newRes, 0.20)
+	if len(regressed) != 1 {
+		t.Fatalf("got %v, want exactly one entry", regressed)
+	}
+	if strings.Count(sb.String(), "REGRESSED") != 1 {
+		t.Errorf("op flagged more than once:\n%s", sb.String())
+	}
+}
+
 func TestDiffBadFile(t *testing.T) {
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad.json")

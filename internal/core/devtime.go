@@ -113,6 +113,9 @@ func PredictiveTune(p Program, o Options) (*Result, error) {
 	root := obs.Start("phase:devtime").
 		With("program", p.Name()).With("model", o.Model.String()).With("qos_min", o.QoSMin)
 	defer root.End()
+	if pp, ok := p.(Prepacker); ok {
+		pp.Prepack(root)
+	}
 	watch := NewStopwatch()
 	rng := tensor.NewRNG(o.Seed)
 	var st Stats
@@ -249,6 +252,9 @@ func EmpiricalTune(p Program, o Options) (*Result, error) {
 	root := obs.Start("phase:devtime").
 		With("program", p.Name()).With("model", "empirical").With("qos_min", o.QoSMin)
 	defer root.End()
+	if pp, ok := p.(Prepacker); ok {
+		pp.Prepack(root)
+	}
 	watch := NewStopwatch()
 	rng := tensor.NewRNG(o.Seed)
 	var st Stats

@@ -57,6 +57,14 @@ type Program interface {
 	FixedOutputShape() bool
 }
 
+// Prepacker is an optional Program capability: pre-populate the pack-once
+// operand caches (packed weight panels, FP16 copies) before tuning starts,
+// recording the work under the caller's observability span so the
+// pack_cache prepass is visible in traces.
+type Prepacker interface {
+	Prepack(parent *obs.Span)
+}
+
 // SuffixRunner is an optional fast path for profile collection: running
 // the program with a single op approximated by re-executing only the
 // graph suffix below that op.
@@ -108,6 +116,13 @@ func NewGraphProgram(g *graph.Graph, calibIn, testIn *tensor.Tensor, calibMetric
 	if err != nil {
 		return nil, err
 	}
+	// Register the long-lived tensors with the pack cache: constant
+	// weights (packed panels, FP16 copies) and the calibration/test
+	// batches (quantized copies, packed im2col columns) are reused across
+	// thousands of tuning executions, so their derived operands memoize.
+	g.PrepackWeights()
+	calibIn.MarkCacheable()
+	testIn.MarkCacheable()
 	return &GraphProgram{
 		Graph:       g,
 		CalibIn:     calibIn,
@@ -160,17 +175,39 @@ func (p *GraphProgram) Score(set InputSet, out *tensor.Tensor) float64 {
 }
 
 // baseVals returns (computing once) the cached baseline node values.
+// The values are marked cacheable: suffix re-execution feeds the same
+// baseline activations into approximated nodes over and over, so their
+// quantized/packed derivations are worth memoizing too.
 func (p *GraphProgram) baseVals(set InputSet) []*tensor.Tensor {
 	if set == Test {
 		if p.baseTest == nil {
-			p.baseTest = p.Graph.ExecuteAll(p.TestIn, nil, graph.ExecOptions{})
+			p.baseTest = markAll(p.Graph.ExecuteAll(p.TestIn, nil, graph.ExecOptions{}))
 		}
 		return p.baseTest
 	}
 	if p.baseCalib == nil {
-		p.baseCalib = p.Graph.ExecuteAll(p.CalibIn, nil, graph.ExecOptions{})
+		p.baseCalib = markAll(p.Graph.ExecuteAll(p.CalibIn, nil, graph.ExecOptions{}))
 	}
 	return p.baseCalib
+}
+
+func markAll(vals []*tensor.Tensor) []*tensor.Tensor {
+	for _, v := range vals {
+		if v != nil {
+			v.MarkCacheable()
+		}
+	}
+	return vals
+}
+
+// Prepack implements Prepacker: it registers every constant weight with
+// the tensorops pack cache and eagerly builds the packed panels both
+// precisions will reuse, so the first tuning executions start warm. The
+// work is recorded as a pack_cache:prepack span under the caller's phase.
+func (p *GraphProgram) Prepack(parent *obs.Span) {
+	sp := parent.Child("pack_cache:prepack")
+	n := p.Graph.PrepackWeights()
+	sp.With("entries", n).End()
 }
 
 // RunSuffix implements SuffixRunner: only the graph below op re-executes.

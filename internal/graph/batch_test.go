@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"math"
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+	"repro/internal/tensorops"
+)
+
+func outDigest(t *tensor.Tensor) [32]byte {
+	h := sha256.New()
+	buf := make([]byte, 4)
+	for _, v := range t.Data() {
+		bits := math.Float32bits(v)
+		buf[0] = byte(bits)
+		buf[1] = byte(bits >> 8)
+		buf[2] = byte(bits >> 16)
+		buf[3] = byte(bits >> 24)
+		h.Write(buf)
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+// TestExecuteShardedBitIdentical pins the batch-parallel contract: for
+// every shardable configuration, Execute (which may split the batch across
+// workers) must produce the same sha256 over the output bits as the serial
+// single-shard path.
+func TestExecuteShardedBitIdentical(t *testing.T) {
+	rng := tensor.NewRNG(31)
+	gr := tinyNet(rng)
+	in := tensor.New(11, 1, 8, 8) // odd batch: uneven final shard
+	rng.FillNormal(in, 0, 1)
+	convOp := gr.ApproxOps()[0]
+	fcOp := gr.ApproxOps()[4]
+
+	cases := []struct {
+		name string
+		cfg  approx.Config
+	}{
+		{"baseline", nil},
+		{"fp16-conv", approx.Config{convOp: approx.KnobFP16}},
+		{"fp16-fc", approx.Config{fcOp: approx.KnobFP16}},
+		{"sampling", approx.Config{convOp: approx.SamplingKnob(2, 0, tensorops.FP32)}},
+		{"perforation", approx.Config{convOp: approx.PerforationKnob(tensorops.PerfRows, 2, 0, tensorops.FP16)}},
+	}
+	for _, tc := range cases {
+		serial := gr.executeOnce(in, tc.cfg, ExecOptions{})
+		// Force multiple shard counts regardless of the host's core count:
+		// 3 workers gives uneven shards [0,4) [4,8) [8,11), 11 gives
+		// single-image shards.
+		for _, workers := range []int{2, 3, 11} {
+			sharded := gr.executeShardedWorkers(in, tc.cfg, ExecOptions{}, workers)
+			if !serial.Shape().Equal(sharded.Shape()) {
+				t.Fatalf("%s workers=%d: shape %v vs %v", tc.name, workers, sharded.Shape(), serial.Shape())
+			}
+			if outDigest(serial) != outDigest(sharded) {
+				t.Errorf("%s workers=%d: sharded output differs from serial (sha256 mismatch)", tc.name, workers)
+			}
+		}
+		// And the public entry point (whichever path it picks) agrees too.
+		if outDigest(gr.Execute(in, tc.cfg, ExecOptions{})) != outDigest(serial) {
+			t.Errorf("%s: Execute differs from serial", tc.name)
+		}
+	}
+}
+
+// TestShardableExclusions: the configurations whose semantics couple batch
+// elements (PROMISE's sequential noise stream, INT8's whole-tensor
+// activation scale) and degenerate inputs must refuse to shard.
+func TestShardableExclusions(t *testing.T) {
+	rng := tensor.NewRNG(37)
+	gr := tinyNet(rng)
+	in := tensor.New(8, 1, 8, 8)
+	rng.FillNormal(in, 0, 1)
+	convOp := gr.ApproxOps()[0]
+
+	// The positive case depends on the worker pool having capacity, which a
+	// single-core host never has.
+	if parallel.Available() > 0 && !gr.shardable(in, nil) {
+		t.Fatal("plain batch config should shard")
+	}
+	single := tensor.New(1, 1, 8, 8)
+	if gr.shardable(single, nil) {
+		t.Error("batch of one sharded")
+	}
+	if gr.shardable(in, approx.Config{convOp: approx.PromiseKnob(4)}) {
+		t.Error("PROMISE config sharded (RNG stream is batch-sequential)")
+	}
+	if gr.shardable(in, approx.Config{convOp: approx.KnobInt8}) {
+		t.Error("INT8 config sharded (activation scale couples the batch)")
+	}
+}
+
+// TestStandardizeWeightsInvalidatesCache: standardization mutates weights
+// in place after FP16 executions have warmed the pack cache; a later FP16
+// execution must see the new weights, matching a twin graph that was
+// standardized before any cache warmup.
+func TestStandardizeWeightsInvalidatesCache(t *testing.T) {
+	build := func() *Graph { return tinyNet(tensor.NewRNG(41)) }
+	gr := build()
+	twin := build()
+
+	rng := tensor.NewRNG(43)
+	in := tensor.New(4, 1, 8, 8)
+	rng.FillNormal(in, 0, 1)
+	cfg := approx.Config{}
+	for _, op := range gr.ApproxOps() {
+		if k := gr.Nodes[op].Kind; k == OpConv || k == OpMatMul {
+			cfg[op] = approx.KnobFP16
+		}
+	}
+
+	// Warm the pack cache with the pre-standardization weights.
+	gr.PrepackWeights()
+	gr.Execute(in, cfg, ExecOptions{})
+
+	gr.StandardizeWeights(in)
+	twin.StandardizeWeights(in)
+
+	got := gr.Execute(in, cfg, ExecOptions{})
+	want := twin.Execute(in, cfg, ExecOptions{})
+	if outDigest(got) != outDigest(want) {
+		t.Fatal("FP16 execution after StandardizeWeights used stale cached panels")
+	}
+}
+
+// TestPrepackWeightsCounts: every conv/matmul node with a weight registers.
+func TestPrepackWeightsCounts(t *testing.T) {
+	gr := tinyNet(tensor.NewRNG(47))
+	n := gr.PrepackWeights()
+	if n != 4 { // conv1 + conv2 (FP16 copies), fc (FP32 + FP16 panels)
+		t.Fatalf("PrepackWeights = %d cache entries, want 4", n)
+	}
+	for _, nd := range gr.Nodes {
+		if nd.Weight == nil {
+			continue
+		}
+		if _, _, ok := nd.Weight.CacheKey(); !ok {
+			t.Errorf("node %d weight not cacheable after prepack", nd.ID)
+		}
+	}
+}

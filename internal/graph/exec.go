@@ -25,6 +25,11 @@ type ExecOptions struct {
 // returns the output tensor. Unmapped ops run exactly in FP32. Execute
 // panics on a structurally invalid knob assignment (use ValidateConfig to
 // vet configurations from external sources first).
+//
+// Batched inputs are sharded across the parallel worker pool when the
+// graph and configuration permit it (see shardable); the sharded result
+// is bit-identical to the serial one, so callers cannot observe which
+// path ran. Traced executions stay serial to keep per-node spans intact.
 func (g *Graph) Execute(input *tensor.Tensor, cfg approx.Config, opts ExecOptions) *tensor.Tensor {
 	sp, detail := g.traceExec(opts.Trace, "full")
 	if !detail {
@@ -32,6 +37,18 @@ func (g *Graph) Execute(input *tensor.Tensor, cfg approx.Config, opts ExecOption
 	} else {
 		opts.Trace = sp
 	}
+	var out *tensor.Tensor
+	if opts.Trace == nil && g.shardable(input, cfg) {
+		out = g.executeSharded(input, cfg, opts)
+	} else {
+		out = g.executeOnce(input, cfg, opts)
+	}
+	sp.End()
+	return out
+}
+
+// executeOnce is the single-goroutine graph sweep behind Execute.
+func (g *Graph) executeOnce(input *tensor.Tensor, cfg approx.Config, opts ExecOptions) *tensor.Tensor {
 	vals := make([]*tensor.Tensor, len(g.Nodes))
 	for _, n := range g.Nodes {
 		switch n.Kind {
@@ -41,7 +58,6 @@ func (g *Graph) Execute(input *tensor.Tensor, cfg approx.Config, opts ExecOption
 			vals[n.ID] = g.execNode(n, vals, cfg.Knob(n.ID), opts)
 		}
 	}
-	sp.End()
 	return vals[g.Output]
 }
 
@@ -106,12 +122,17 @@ func (g *Graph) execNode(n *Node, vals []*tensor.Tensor, kid approx.KnobID, opts
 
 	switch n.Kind {
 	case OpConv:
+		// The bias/activation/quantization epilogue fuses into the GEMM
+		// writeback for the variants whose raw output needs no
+		// post-processing; perforation (interpolates first), PROMISE
+		// (perturbs first) and int8 apply it in a single in-place pass.
+		ep := n.fusedEpilogue()
 		var out *tensor.Tensor
 		switch knob.Kind {
 		case approx.KindBaseline, approx.KindFP16:
-			out = tensorops.Conv2D(x, n.Weight, n.Conv, prec)
+			return tensorops.Conv2DFused(x, n.Weight, n.Conv, prec, ep)
 		case approx.KindSampling:
-			out = tensorops.Conv2DFilterSampling(x, n.Weight, n.Conv, knob.Stride, knob.Offset, prec)
+			return tensorops.Conv2DFilterSamplingFused(x, n.Weight, n.Conv, knob.Stride, knob.Offset, prec, ep)
 		case approx.KindPerforation:
 			out = tensorops.Conv2DPerforated(x, n.Weight, n.Conv, knob.Dir, knob.Stride, knob.Offset, prec)
 		case approx.KindPromise:
@@ -124,13 +145,14 @@ func (g *Graph) execNode(n *Node, vals []*tensor.Tensor, kid approx.KnobID, opts
 		default:
 			panicKnob(n, knob)
 		}
-		return g.epilogue(n, out, prec)
+		return tensorops.ApplyEpilogue(out, ep, prec)
 
 	case OpMatMul:
+		ep := n.fusedEpilogue()
 		var out *tensor.Tensor
 		switch knob.Kind {
 		case approx.KindBaseline, approx.KindFP16:
-			out = tensorops.MatMul(tensorops.Flatten(x), n.Weight, prec)
+			return tensorops.MatMulFused(tensorops.Flatten(x), n.Weight, prec, ep)
 		case approx.KindPromise:
 			out = tensorops.MatMul(tensorops.Flatten(x), n.Weight, tensorops.FP32)
 			g.perturb(out, knob.Level, opts)
@@ -141,7 +163,7 @@ func (g *Graph) execNode(n *Node, vals []*tensor.Tensor, kid approx.KnobID, opts
 		default:
 			panicKnob(n, knob)
 		}
-		return g.epilogue(n, out, prec)
+		return tensorops.ApplyEpilogue(out, ep, prec)
 
 	case OpMaxPool, OpAvgPool:
 		num, den := 1, 1
@@ -208,20 +230,57 @@ func (g *Graph) execNode(n *Node, vals []*tensor.Tensor, kid approx.KnobID, opts
 	}
 }
 
-// epilogue applies the fused bias and activation of a conv/matmul node.
-func (g *Graph) epilogue(n *Node, out *tensor.Tensor, prec tensorops.Precision) *tensor.Tensor {
-	if n.Bias != nil {
-		out = tensorops.BiasAdd(out, n.Bias, prec)
-	}
+// fusedEpilogue maps the node's bias and activation onto the kernel-level
+// epilogue descriptor consumed by the fused tensorops entry points.
+func (n *Node) fusedEpilogue() tensorops.Epilogue {
+	ep := tensorops.Epilogue{Bias: n.Bias, Clip: n.Clip}
 	switch n.Act {
 	case ActReLU:
-		out = tensorops.ReLU(out, prec)
+		ep.Act = tensorops.ActReLU
 	case ActClippedReLU:
-		out = tensorops.ClippedReLU(out, n.Clip, prec)
+		ep.Act = tensorops.ActClippedReLU
 	case ActTanh:
-		out = tensorops.Tanh(out, prec)
+		ep.Act = tensorops.ActTanh
 	}
-	return out
+	return ep
+}
+
+// InvalidateWeight records an in-place mutation of the node's weight
+// tensor: it advances the tensor's cache generation and drops every
+// derived operand (packed panels, quantized copies, sampled filters) from
+// the process-wide pack cache. Any pass that rewrites Weight.Data() —
+// StandardizeWeights, models.Prune — must call it, or cached executions
+// would keep using the old weights.
+func (n *Node) InvalidateWeight() {
+	if n.Weight == nil {
+		return
+	}
+	n.Weight.InvalidateCache()
+	tensorops.InvalidatePacked(n.Weight)
+}
+
+// PrepackWeights marks every conv/matmul weight cacheable and eagerly
+// builds the derived operands the execution paths will ask for — packed
+// GEMM panels for dense weights (both precisions) and FP16 quantized
+// copies for conv weights — so the first tuning executions start warm.
+// Idempotent (later calls hit the cache); returns the number of cache
+// entries ensured.
+func (g *Graph) PrepackWeights() int {
+	count := 0
+	for _, n := range g.Nodes {
+		if n.Weight == nil {
+			continue
+		}
+		switch n.Kind {
+		case OpConv:
+			n.Weight.MarkCacheable()
+			count += tensorops.PrepackConvWeight(n.Weight)
+		case OpMatMul:
+			n.Weight.MarkCacheable()
+			count += tensorops.PrepackMatMulWeight(n.Weight)
+		}
+	}
+	return count
 }
 
 func (g *Graph) perturb(out *tensor.Tensor, level int, opts ExecOptions) {
@@ -259,6 +318,9 @@ func (g *Graph) StandardizeWeights(probe *tensor.Tensor) {
 		if n.Kind == OpConv || n.Kind == OpMatMul {
 			raw := g.rawLinear(n, vals)
 			standardizeNode(n, raw)
+			// The weights just changed in place: stale packed panels and
+			// quantized copies must never serve another execution.
+			n.InvalidateWeight()
 		}
 		vals[n.ID] = g.execNode(n, vals, approx.KnobFP32, ExecOptions{})
 	}
@@ -268,16 +330,11 @@ func (g *Graph) StandardizeWeights(probe *tensor.Tensor) {
 // applied, bias added, activation NOT applied) in exact FP32.
 func (g *Graph) rawLinear(n *Node, vals []*tensor.Tensor) *tensor.Tensor {
 	x := vals[n.Inputs[0]]
-	var out *tensor.Tensor
+	ep := tensorops.Epilogue{Bias: n.Bias}
 	if n.Kind == OpConv {
-		out = tensorops.Conv2D(x, n.Weight, n.Conv, tensorops.FP32)
-	} else {
-		out = tensorops.MatMul(tensorops.Flatten(x), n.Weight, tensorops.FP32)
+		return tensorops.Conv2DFused(x, n.Weight, n.Conv, tensorops.FP32, ep)
 	}
-	if n.Bias != nil {
-		out = tensorops.BiasAdd(out, n.Bias, tensorops.FP32)
-	}
-	return out
+	return tensorops.MatMulFused(tensorops.Flatten(x), n.Weight, tensorops.FP32, ep)
 }
 
 // standardizeNode rescales the node's weights/bias so the given raw output

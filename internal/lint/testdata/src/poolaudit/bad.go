@@ -131,3 +131,55 @@ func Captured(n int) func() {
 	buf := tensor.Scratch(n)
 	return func() { tensor.Release(buf) }
 }
+
+// BuildInClosure mirrors the pack-cache miss path: the build closure
+// acquires scratch, packs out of it, and releases before returning the
+// heap-allocated result — straight-line, clean, and analyzed as its own
+// unit.
+func BuildInClosure(n int) func() []float32 {
+	return func() []float32 {
+		cols := tensor.Scratch(n)
+		use(cols)
+		packed := make([]float32, n)
+		copy(packed, cols)
+		tensor.Release(cols)
+		return packed
+	}
+}
+
+// BuildInClosureLeak is the same shape with an early return the release
+// never covers.
+func BuildInClosureLeak(n int) func() []float32 {
+	return func() []float32 {
+		cols := tensor.Scratch(n)
+		if n == 0 {
+			return nil // want poolaudit
+		}
+		use(cols)
+		tensor.Release(cols)
+		return nil
+	}
+}
+
+// CacheMissConditional acquires only on the miss path and defers the
+// release inside that branch — clean: the obligation exists exactly where
+// the defer covers it.
+func CacheMissConditional(n int, hit bool) {
+	if !hit {
+		cols := tensor.Scratch(n)
+		defer tensor.Release(cols)
+		use(cols)
+	}
+}
+
+// CachedPayloadNotPooled copies a pooled buffer into a plain allocation
+// before the release (the rule cache payloads live by: eviction must
+// never race a borrower against pool reuse) — clean.
+func CachedPayloadNotPooled(n int) []float32 {
+	cols := tensor.Scratch(n)
+	use(cols)
+	payload := make([]float32, n)
+	copy(payload, cols)
+	tensor.Release(cols)
+	return payload
+}

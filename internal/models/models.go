@@ -504,6 +504,8 @@ func Prune(m *Model, fraction float64) float64 {
 				zeroed++
 			}
 		}
+		// Weights changed in place: drop any cached packed/quantized copies.
+		n.InvalidateWeight()
 	}
 	if total == 0 {
 		return 0

@@ -46,6 +46,13 @@ func Workers() int { return runtime.GOMAXPROCS(0) }
 // that is one allocation per call.
 func Serial() bool { return runtime.GOMAXPROCS(0) <= 1 }
 
+// Available reports how many extra workers the token pool could hand out
+// right now. It is a racy snapshot, not a reservation — callers use it as
+// a heuristic (graph batch sharding skips the split when the process is
+// already saturated by an outer parallel loop, where the shards would all
+// run inline anyway).
+func Available() int { return len(workerTokens) }
+
 // For runs fn(i) for every i in [0,n), splitting the index space into
 // contiguous chunks executed by up to GOMAXPROCS goroutines. It returns
 // once every iteration has completed. fn must be safe to call concurrently

@@ -84,16 +84,41 @@ func F16ToF32(h uint16) float32 {
 	}
 }
 
-// QuantizeFP16 rounds v through half precision.
-func QuantizeFP16(v float32) float32 { return F16ToF32(F32ToF16(v)) }
+// QuantizeFP16 rounds v through half precision. Values whose biased
+// float32 exponent lies in [113,141] — normal halves whose mantissa
+// rounding cannot overflow past the largest finite half — take a pure
+// bit-manipulation fast path: adding 0xfff plus the round-to-even tie bit
+// and clearing the low 13 mantissa bits performs exactly the
+// round-to-nearest-even of F32ToF16, with a mantissa carry propagating
+// into the exponent field precisely when rounding bumps the binade.
+// Everything else (zeros, subnormal halves, overflow candidates at
+// exponent 142, Inf, NaN) goes through the reference conversion pair, so
+// the result is bit-identical to F16ToF32(F32ToF16(v)) for every input
+// (fp16_test.go sweeps the encoding space to pin this).
+func QuantizeFP16(v float32) float32 {
+	bits := math.Float32bits(v)
+	if e := (bits >> 23) & 0xff; e-113 < 29 {
+		r := bits + 0xfff + ((bits >> 13) & 1)
+		return math.Float32frombits(r &^ 0x1fff)
+	}
+	return F16ToF32(F32ToF16(v))
+}
+
+// QuantizeFP16Slice quantizes src through half precision into dst
+// (dst and src may be the same slice). It is the bulk entry point the
+// kernel paths use; len(dst) must be at least len(src).
+func QuantizeFP16Slice(dst, src []float32) {
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = QuantizeFP16(v)
+	}
+}
 
 // ToFP16 quantizes every element of t through half precision in place and
 // returns t. Approximate kernels call this on inputs, weights and outputs
 // when an FP16 knob variant is active.
 func (t *Tensor) ToFP16() *Tensor {
-	for i, v := range t.data {
-		t.data[i] = QuantizeFP16(v)
-	}
+	QuantizeFP16Slice(t.data, t.data)
 	return t
 }
 

@@ -31,14 +31,26 @@ func (d PerfDirection) String() string {
 // are rescaled by stride/(stride-1) so the expected output magnitude is
 // preserved, mirroring the rescaling used for reduction sampling.
 func Conv2DFilterSampling(x, w *tensor.Tensor, p ConvParams, stride, offset int, prec Precision) *tensor.Tensor {
+	return Conv2DFilterSamplingFused(x, w, p, stride, offset, prec, Epilogue{})
+}
+
+// Conv2DFilterSamplingFused is Conv2DFilterSampling with a fused
+// bias/activation epilogue. For weights marked cacheable the sampled
+// filter itself is memoized in the pack cache (the zero-and-rescale pass
+// used to run on every call), and the cached copy is marked cacheable in
+// turn so its FP16 quantization memoizes as well.
+func Conv2DFilterSamplingFused(x, w *tensor.Tensor, p ConvParams, stride, offset int, prec Precision, ep Epilogue) *tensor.Tensor {
 	if stride < 2 || stride > 4 {
 		panicShape("FilterSampling", "stride %d not in {2,3,4}", stride)
 	}
 	if offset < 0 || offset >= stride {
 		panicShape("FilterSampling", "offset %d not in [0,%d)", offset, stride)
 	}
-	sw := SampleFilter(w, stride, offset)
-	return convolve(x, sw, p, prec, nil, PerfNone)
+	sw := defaultPackCache.cachedSampledFilter(w, stride, offset)
+	if sw == nil {
+		sw = SampleFilter(w, stride, offset)
+	}
+	return convolve(x, sw, p, prec, nil, ep)
 }
 
 // SampleFilter returns a copy of w with every stride-th element (per output
@@ -79,5 +91,5 @@ func Conv2DPerforated(x, w *tensor.Tensor, p ConvParams, dir PerfDirection, stri
 	if offset < 0 || offset >= stride {
 		panicShape("Perforated", "offset %d not in [0,%d)", offset, stride)
 	}
-	return convolve(x, w, p, prec, &perfSpec{dir: dir, stride: stride, offset: offset}, dir)
+	return convolve(x, w, p, prec, &perfSpec{dir: dir, stride: stride, offset: offset}, Epilogue{})
 }

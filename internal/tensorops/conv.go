@@ -36,7 +36,16 @@ func (p ConvParams) Norm() ConvParams {
 // (Co,Ci/G,Kh,Kw); the result is (N,Co,Ho,Wo). With FP16 precision the
 // operands and result pass through half-precision quantization.
 func Conv2D(x, w *tensor.Tensor, p ConvParams, prec Precision) *tensor.Tensor {
-	return convolve(x, w, p, prec, nil, PerfNone)
+	return convolve(x, w, p, prec, nil, Epilogue{})
+}
+
+// Conv2DFused is Conv2D with the bias/activation/FP16-writeback epilogue
+// fused into the GEMM writeback: each output row (one output channel's
+// spatial plane) gets bias, activation and quantization applied as it
+// completes, instead of three whole-tensor clone-and-sweep passes
+// afterwards. Bit-identical to the unfused chain.
+func Conv2DFused(x, w *tensor.Tensor, p ConvParams, prec Precision, ep Epilogue) *tensor.Tensor {
+	return convolve(x, w, p, prec, nil, ep)
 }
 
 // perfSpec describes output-perforation for the perforated-convolution
@@ -49,8 +58,10 @@ type perfSpec struct {
 
 // convolve is the shared engine: exact convolution over the output elements
 // selected by perf (all of them when perf is nil), using an optionally
-// pre-sampled weight tensor.
-func convolve(x, w *tensor.Tensor, p ConvParams, prec Precision, perf *perfSpec, _ PerfDirection) *tensor.Tensor {
+// pre-sampled weight tensor. ep is fused into the GEMM writeback when
+// there is no perforation (interpolation needs the raw conv output);
+// perforated callers apply their epilogue afterwards via ApplyEpilogue.
+func convolve(x, w *tensor.Tensor, p ConvParams, prec Precision, perf *perfSpec, ep Epilogue) *tensor.Tensor {
 	p = p.Norm()
 	if x.Rank() != 4 || w.Rank() != 4 {
 		panicShape("Conv2D", "need 4-D input and weight, got %v and %v", x.Shape(), w.Shape())
@@ -61,17 +72,32 @@ func convolve(x, w *tensor.Tensor, p ConvParams, prec Precision, perf *perfSpec,
 	if ci%g != 0 || co%g != 0 || cig != ci/g {
 		panicShape("Conv2D", "groups=%d incompatible with Ci=%d Co=%d weight Ci/G=%d", g, ci, co, cig)
 	}
+	if ep.Bias != nil && ep.Bias.Elems() != co {
+		panicShape("Conv2D", "bias length %d != output channels %d", ep.Bias.Elems(), co)
+	}
 	ho := tensor.ConvOutDim(h, kh, p.StrideH, p.PadH)
 	wo := tensor.ConvOutDim(wd, kw, p.StrideW, p.PadW)
 
 	xd, wdat := x.Data(), w.Data()
 	if prec == FP16 {
-		xq := quantizedScratch(xd)
-		defer tensor.Release(xq)
-		xd = xq
-		wq := quantizedScratch(wdat)
-		defer tensor.Release(wq)
-		wdat = wq
+		// Quantized operands come from the pack cache for marked tensors
+		// (constant weights, calibration inputs — quantized once, reused
+		// across thousands of tuning executions) and from pooled scratch
+		// otherwise.
+		if q, ok := cachedQuantized(x); ok {
+			xd = q
+		} else {
+			xq := quantizedScratch(xd)
+			defer tensor.Release(xq)
+			xd = xq
+		}
+		if q, ok := cachedQuantized(w); ok {
+			wdat = q
+		} else {
+			wq := quantizedScratch(wdat)
+			defer tensor.Release(wq)
+			wdat = wq
+		}
 	}
 
 	out := tensor.New(n, co, ho, wo)
@@ -79,18 +105,61 @@ func convolve(x, w *tensor.Tensor, p ConvParams, prec Precision, perf *perfSpec,
 
 	cog := co / g // output channels per group
 	kvol := cig * kh * kw
+	how := ho * wo
+
+	// The fused per-row epilogue (one rowEpi per group — a C row is one
+	// output channel, so bias indexes per row within the group's slice).
+	var eps []rowEpi
+	if perf == nil && (prec == FP16 || !ep.empty()) {
+		eps = make([]rowEpi, g)
+		for grp := range eps {
+			re := rowEpi{perRow: true, act: ep.Act, clip: ep.Clip, quant: prec == FP16}
+			if ep.Bias != nil {
+				re.bias = ep.Bias.Data()[grp*cog : (grp+1)*cog]
+			}
+			eps[grp] = re
+		}
+	}
+
+	// FP16 convolutions over a cacheable input (calibration batches,
+	// baseline activations replayed by suffix profiling) additionally
+	// memoize the whole prepared B operand — the quantized, packed im2col
+	// columns of each (image, group): the steady state skips quantize,
+	// im2col and pack entirely. FP16 is where the win concentrates (the
+	// quantization pass rides along for free) and caching only the reduced
+	// precision keeps the approximate path strictly cheaper than the exact
+	// one. Only the blocked GEMM geometry qualifies, and only when the
+	// conv's full column working set fits the cache budget (a sweep larger
+	// than the LRU would miss on every call while still paying the
+	// insert).
+	colsCached := prec == FP16 && cog >= gemmMR && how >= gemmNR &&
+		defaultPackCache.colsBudgetOK(n, g, kvol*how)
+	if colsCached {
+		_, _, colsCached = x.CacheKey()
+	}
 
 	// im2col per (image, group): cols is (kvol × ho*wo), weights for the
 	// group form a (cog × kvol) matrix; their product is the output block.
 	// The column matrix comes from the scratch pool — im2col fully
 	// overwrites it, so the unspecified-contents contract holds.
 	parallel.For(n, func(img int) {
-		cols := tensor.Scratch(kvol * ho * wo)
+		cols := tensor.Scratch(kvol * how)
 		for grp := 0; grp < g; grp++ {
-			im2col(xd, cols, img, grp, ci, cig, h, wd, kh, kw, ho, wo, p)
 			wblock := wdat[grp*cog*kvol : (grp+1)*cog*kvol]
-			oblock := od[(img*co+grp*cog)*ho*wo : (img*co+(grp+1)*cog)*ho*wo]
-			Gemm(wblock, cols, oblock, cog, kvol, ho*wo)
+			oblock := od[(img*co+grp*cog)*how : (img*co+(grp+1)*cog)*how]
+			var re *rowEpi
+			if eps != nil {
+				re = &eps[grp]
+			}
+			if colsCached {
+				geo := colsGeo{img: img, grp: grp, ci: ci, cig: cig, h: h, w: wd, kh: kh, kw: kw, ho: ho, wo: wo, p: p}
+				if pre := defaultPackCache.cachedConvCols(x, xd, geo, prec); pre != nil {
+					gemmRun(wblock, nil, oblock, cog, kvol, how, false, pre, re)
+					continue
+				}
+			}
+			im2col(xd, cols, img, grp, ci, cig, h, wd, kh, kw, ho, wo, p)
+			gemmRun(wblock, cols, oblock, cog, kvol, how, false, nil, re)
 		}
 		tensor.Release(cols)
 	})
@@ -98,7 +167,7 @@ func convolve(x, w *tensor.Tensor, p ConvParams, prec Precision, perf *perfSpec,
 	if perf != nil {
 		interpolatePerforated(out, perf)
 	}
-	if prec == FP16 {
+	if prec == FP16 && eps == nil {
 		out.ToFP16()
 	}
 	return out

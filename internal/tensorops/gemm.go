@@ -53,73 +53,116 @@ func Gemm(a, b, c []float32, m, k, n int) {
 	gemmEngine(a, b, c, m, k, n, false)
 }
 
-// gemmEngine is the shared blocked kernel. When quantB is set, B's
-// elements pass through FP16 quantization as they are packed (fusing the
-// former full-tensor quantizedCopy pass into the pack step); A and C are
-// used as given.
+// GemmPacked computes C += A·B with B supplied as a tensor (k×n
+// row-major): when bt is marked cacheable and the shape fits the blocked
+// path, the packed panels come from the process-wide pack cache, so
+// repeated calls skip the per-call pack pass entirely. Otherwise it
+// falls back to the uncached engine. Bit-identical to Gemm either way.
+func GemmPacked(a []float32, bt *tensor.Tensor, c []float32, m, k, n int) {
+	if m >= gemmMR {
+		if pre := defaultPackCache.cachedPrepackedB(bt, k, n, FP32); pre != nil {
+			gemmRun(a, nil, c, m, k, n, false, pre, nil)
+			return
+		}
+	}
+	gemmEngine(a, bt.Data(), c, m, k, n, false)
+}
+
+// gemmEngine is the per-call kernel entry: pack B (quantizing when
+// quantB is set — fusing the former full-tensor quantizedCopy pass into
+// the pack step), multiply, no epilogue.
 func gemmEngine(a, b, c []float32, m, k, n int, quantB bool) {
+	gemmRun(a, b, c, m, k, n, quantB, nil, nil)
+}
+
+// gemmRun is the shared blocked kernel. pre, when non-nil, supplies B
+// already packed (and quantized) — b may then be nil, and the caller
+// must have checked m >= gemmMR, since the small-m saxpy path streams
+// raw B. ep, when non-nil, is applied to each C row as it completes;
+// that requires a zeroed C (assignment semantics).
+func gemmRun(a, b, c []float32, m, k, n int, quantB bool, pre *prepacked, ep *rowEpi) {
 	if m <= 0 || n <= 0 || k <= 0 {
 		return
 	}
-	if m < gemmMR {
+	if pre == nil && m < gemmMR {
 		// Too few rows to amortize packing (depthwise convolution reaches
 		// here with m == 1): stream B rows directly, saxpy style.
 		if parallel.Serial() {
-			gemmSaxpyRows(0, m, a, b, c, k, n, quantB)
+			gemmSaxpyRows(0, m, a, b, c, k, n, quantB, ep)
 		} else {
 			parallel.ForChunked(m, func(lo, hi int) {
-				gemmSaxpyRows(lo, hi, a, b, c, k, n, quantB)
+				gemmSaxpyRows(lo, hi, a, b, c, k, n, quantB, ep)
 			})
 		}
 		return
 	}
 	np := n / gemmNR // number of full B panels
-	if np == 0 {
+	if pre == nil && np == 0 {
 		// Too narrow for a panel: plain per-element accumulation.
 		if parallel.Serial() {
-			gemmTailRows(0, m, a, b, c, k, n, quantB)
+			gemmTailRows(0, m, a, b, c, k, n, quantB, ep)
 		} else {
 			parallel.ForChunked(m, func(lo, hi int) {
-				gemmTailRows(lo, hi, a, b, c, k, n, quantB)
+				gemmTailRows(lo, hi, a, b, c, k, n, quantB, ep)
 			})
 		}
 		return
 	}
-	packed := tensor.Scratch(np * k * gemmNR)
+	var packed, tail []float32
+	fresh := pre == nil
+	if fresh {
+		packed = tensor.Scratch(np * k * gemmNR)
+	} else {
+		packed, tail = pre.panels, pre.tail
+	}
 	nBlocks := (m + gemmMR - 1) / gemmMR
 	if parallel.Serial() {
-		packRange(0, np, b, packed, k, n, quantB)
-		gemmBlockRange(0, nBlocks, a, b, c, packed, m, k, n, np, quantB)
+		if fresh {
+			packRange(0, np, b, packed, k, n, quantB)
+		}
+		gemmBlockRange(0, nBlocks, a, b, c, packed, tail, m, k, n, np, quantB, ep)
 	} else {
-		parallel.ForChunked(np, func(plo, phi int) {
-			packRange(plo, phi, b, packed, k, n, quantB)
-		})
+		if fresh {
+			parallel.ForChunked(np, func(plo, phi int) {
+				packRange(plo, phi, b, packed, k, n, quantB)
+			})
+		}
 		parallel.ForChunked(nBlocks, func(blo, bhi int) {
-			gemmBlockRange(blo, bhi, a, b, c, packed, m, k, n, np, quantB)
+			gemmBlockRange(blo, bhi, a, b, c, packed, tail, m, k, n, np, quantB, ep)
 		})
 	}
-	tensor.Release(packed)
-}
-
-// gemmSaxpyRows runs gemmSaxpyRow over C rows [lo,hi).
-func gemmSaxpyRows(lo, hi int, a, b, c []float32, k, n int, quantB bool) {
-	for i := lo; i < hi; i++ {
-		gemmSaxpyRow(a[i*k:(i+1)*k], b, c[i*n:(i+1)*n], n, quantB)
+	if fresh {
+		tensor.Release(packed)
 	}
 }
 
-// gemmTailRows runs gemmTailRow over whole C rows [lo,hi).
-func gemmTailRows(lo, hi int, a, b, c []float32, k, n int, quantB bool) {
+// gemmSaxpyRows runs gemmSaxpyRow over C rows [lo,hi), applying the
+// fused epilogue to each completed row.
+func gemmSaxpyRows(lo, hi int, a, b, c []float32, k, n int, quantB bool, ep *rowEpi) {
 	for i := lo; i < hi; i++ {
-		gemmTailRow(a[i*k:(i+1)*k], b, c[i*n:(i+1)*n], n, 0, quantB)
+		crow := c[i*n : (i+1)*n]
+		gemmSaxpyRow(a[i*k:(i+1)*k], b, crow, n, quantB)
+		ep.apply(crow, i)
+	}
+}
+
+// gemmTailRows runs gemmTailRow over whole C rows [lo,hi), applying the
+// fused epilogue to each completed row.
+func gemmTailRows(lo, hi int, a, b, c []float32, k, n int, quantB bool, ep *rowEpi) {
+	for i := lo; i < hi; i++ {
+		crow := c[i*n : (i+1)*n]
+		gemmTailRow(a[i*k:(i+1)*k], b, crow, n, 0, quantB)
+		ep.apply(crow, i)
 	}
 }
 
 // gemmBlockRange computes the row blocks [blo,bhi) of the blocked kernel:
 // full gemmMR-row blocks go through the 4×4 micro-tile, remainder rows
 // through the 1×4 edge kernel, and the sub-panel tail columns through the
-// strided tail kernel.
-func gemmBlockRange(blo, bhi int, a, b, c, packed []float32, m, k, n, np int, quantB bool) {
+// strided tail kernel — or, when tail is non-nil (prepacked operand),
+// through the contiguous pre-gathered tail columns. The fused epilogue
+// runs on each row right after its tail completes, while the row is hot.
+func gemmBlockRange(blo, bhi int, a, b, c, packed, tail []float32, m, k, n, np int, quantB bool, ep *rowEpi) {
 	jTail := np * gemmNR
 	for ib := blo; ib < bhi; ib++ {
 		i0 := ib * gemmMR
@@ -153,8 +196,35 @@ func gemmBlockRange(blo, bhi int, a, b, c, packed []float32, m, k, n, np int, qu
 			}
 		}
 		for r := 0; r < rows; r++ {
-			gemmTailRow(a[(i0+r)*k:(i0+r+1)*k], b, c[(i0+r)*n:(i0+r+1)*n], n, jTail, quantB)
+			arow := a[(i0+r)*k : (i0+r+1)*k]
+			crow := c[(i0+r)*n : (i0+r+1)*n]
+			if tail != nil {
+				gemmTailRowPre(arow, tail, crow, n, jTail)
+			} else {
+				gemmTailRow(arow, b, crow, n, jTail, quantB)
+			}
+			ep.apply(crow, i0+r)
 		}
+	}
+}
+
+// gemmTailRowPre is gemmTailRow over a prepacked tail: the tail columns
+// are stored contiguously column-major (tail[(j-j0)*k+l] = B[l][j],
+// already quantized for FP16), so the inner product reads a forward
+// stream. Accumulation order (ascending l, zero-skip on A) is identical
+// to gemmTailRow's, so the result is bit-equal.
+func gemmTailRowPre(arow, tail, crow []float32, n, j0 int) {
+	k := len(arow)
+	for j := j0; j < n; j++ {
+		col := tail[(j-j0)*k : (j-j0+1)*k]
+		var s float32
+		for l, av := range arow {
+			//lint:ignore floateq sparsity fast path: exactly-zero activations contribute nothing
+			if av != 0 {
+				s += av * col[l]
+			}
+		}
+		crow[j] += s
 	}
 }
 
@@ -323,25 +393,51 @@ func gemmSaxpyRow(arow, b, crow []float32, n int, quantB bool) {
 // MatMul multiplies x (n×k) by the transpose-free weight w (k×m), returning
 // an (n×m) tensor. It is the fully-connected / dense operator. With FP16
 // precision the operands and result are quantized through half precision:
-// the input through a pooled scratch copy, the weight during the GEMM pack
-// step (no separate full-tensor pass).
+// the input through a pooled scratch copy (or the pack cache for marked
+// tensors), the weight during the GEMM pack step (no separate
+// full-tensor pass).
 func MatMul(x, w *tensor.Tensor, prec Precision) *tensor.Tensor {
+	return MatMulFused(x, w, prec, Epilogue{})
+}
+
+// MatMulFused is MatMul with the bias/activation/FP16-writeback epilogue
+// applied per C row during the GEMM instead of as separate whole-tensor
+// passes, and with w's packed panels served from the pack cache when w
+// is marked cacheable. Bit-identical to the unfused chain.
+func MatMulFused(x, w *tensor.Tensor, prec Precision, ep Epilogue) *tensor.Tensor {
 	n, k := x.Dim(0), x.Elems()/x.Dim(0)
 	if w.Rank() != 2 || w.Dim(0) != k {
 		panicShape("MatMul", "weight shape %v incompatible with input inner dim %d", w.Shape(), k)
 	}
 	m := w.Dim(1)
+	if ep.Bias != nil && ep.Bias.Elems() != m {
+		panicShape("MatMul", "bias length %d != output features %d", ep.Bias.Elems(), m)
+	}
 	xd := x.Data()
 	if prec == FP16 {
-		q := quantizedScratch(xd)
-		defer tensor.Release(q)
-		xd = q
+		if q, ok := cachedQuantized(x); ok {
+			xd = q
+		} else {
+			xq := quantizedScratch(xd)
+			defer tensor.Release(xq)
+			xd = xq
+		}
 	}
 	out := tensor.New(n, m)
-	gemmEngine(xd, w.Data(), out.Data(), n, k, m, prec == FP16)
-	if prec == FP16 {
-		out.ToFP16()
+	var re *rowEpi
+	if prec == FP16 || !ep.empty() {
+		re = &rowEpi{act: ep.Act, clip: ep.Clip, quant: prec == FP16}
+		if ep.Bias != nil {
+			re.bias = ep.Bias.Data() // indexed by column: per output feature
+		}
 	}
+	if n >= gemmMR {
+		if pre := defaultPackCache.cachedPrepackedB(w, k, m, prec); pre != nil {
+			gemmRun(xd, nil, out.Data(), n, k, m, false, pre, re)
+			return out
+		}
+	}
+	gemmRun(xd, w.Data(), out.Data(), n, k, m, prec == FP16, nil, re)
 	return out
 }
 
@@ -349,9 +445,7 @@ func MatMul(x, w *tensor.Tensor, prec Precision) *tensor.Tensor {
 // FP16. The caller must tensor.Release it when the kernel is done.
 func quantizedScratch(d []float32) []float32 {
 	q := tensor.Scratch(len(d))
-	for i, v := range d {
-		q[i] = tensor.QuantizeFP16(v)
-	}
+	tensor.QuantizeFP16Slice(q, d)
 	return q
 }
 

@@ -1,0 +1,91 @@
+package tensorops
+
+import (
+	"math"
+	"testing"
+)
+
+// ulpDiff32 returns the distance in float32 ulps between a and b (0 when
+// bit-equal, including -0 vs +0 treated as 1 apart only if bits differ).
+func ulpDiff32(a, b float32) uint32 {
+	ia := int32(math.Float32bits(a))
+	ib := int32(math.Float32bits(b))
+	// Map to a monotone integer line.
+	if ia < 0 {
+		ia = math.MinInt32 - ia
+	}
+	if ib < 0 {
+		ib = math.MinInt32 - ib
+	}
+	d := int64(ia) - int64(ib)
+	if d < 0 {
+		d = -d
+	}
+	return uint32(d)
+}
+
+// TestTanh32MatchesMathTanh sweeps a dense grid of inputs across the full
+// useful range and requires tanh32 to be within 1 float32 ulp of
+// float32(math.Tanh(x)) — the polynomial's error budget (~2e-4 ulp) only
+// permits a 1-ulp difference when the true value straddles a float32
+// rounding boundary.
+func TestTanh32MatchesMathTanh(t *testing.T) {
+	worst := uint32(0)
+	var worstX float32
+	check := func(x float32) {
+		got := tanh32(x)
+		want := float32(math.Tanh(float64(x)))
+		if d := ulpDiff32(got, want); d > worst {
+			worst = d
+			worstX = x
+		}
+	}
+	// Dense linear sweep over the active range.
+	for i := -200000; i <= 200000; i++ {
+		check(float32(i) * 5.2e-5) // covers [-10.4, 10.4]
+	}
+	// Log-spaced sweep into the denormal/small-input region and out past
+	// saturation.
+	for e := -40; e <= 6; e++ {
+		base := float32(math.Pow(2, float64(e)))
+		for m := 0; m < 64; m++ {
+			x := base * (1 + float32(m)/64)
+			check(x)
+			check(-x)
+		}
+	}
+	if worst > 1 {
+		t.Fatalf("tanh32(%g) differs from math.Tanh by %d ulps", worstX, worst)
+	}
+}
+
+func TestTanh32Edges(t *testing.T) {
+	if got := tanh32(0); math.Float32bits(got) != 0 {
+		t.Fatalf("tanh32(0) = %g (bits %#x), want +0", got, math.Float32bits(got))
+	}
+	negZero := float32(math.Copysign(0, -1))
+	if got := tanh32(negZero); got != 0 {
+		t.Fatalf("tanh32(-0) = %g, want 0", got)
+	}
+	if got := tanh32(float32(math.Inf(1))); got != 1 {
+		t.Fatalf("tanh32(+Inf) = %g, want 1", got)
+	}
+	if got := tanh32(float32(math.Inf(-1))); got != -1 {
+		t.Fatalf("tanh32(-Inf) = %g, want -1", got)
+	}
+	if got := tanh32(float32(math.NaN())); !math.IsNaN(float64(got)) {
+		t.Fatalf("tanh32(NaN) = %g, want NaN", got)
+	}
+	if got := tanh32(10); got != 1 {
+		t.Fatalf("tanh32(10) = %g, want saturated 1", got)
+	}
+	if got := tanh32(-10); got != -1 {
+		t.Fatalf("tanh32(-10) = %g, want saturated -1", got)
+	}
+	// Odd symmetry holds bit-exactly: tanh32 computes on |x|.
+	for _, x := range []float32{1e-8, 0.1, 0.5, 1, 2, 5, 8.9} {
+		if p, n := tanh32(x), tanh32(-x); p != -n {
+			t.Fatalf("tanh32 not odd at %g: %g vs %g", x, p, n)
+		}
+	}
+}

@@ -40,12 +40,13 @@ func ClippedReLU(x *tensor.Tensor, clip float32, prec Precision) *tensor.Tensor 
 	return out
 }
 
-// Tanh applies tanh elementwise.
+// Tanh applies tanh elementwise (tanh32 — the float32-targeted kernel
+// shared with the fused epilogues).
 func Tanh(x *tensor.Tensor, prec Precision) *tensor.Tensor {
 	out := x.Clone()
 	d := out.Data()
 	for i, v := range d {
-		d[i] = float32(math.Tanh(float64(v)))
+		d[i] = tanh32(v)
 	}
 	if prec == FP16 {
 		out.ToFP16()

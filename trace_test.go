@@ -64,4 +64,24 @@ func TestSampleTracePhases(t *testing.T) {
 	if nodes == 0 {
 		t.Error("no per-node kernel spans nested under phase:devtime")
 	}
+
+	// The pack-once prepass must be recorded under the development-time
+	// phase, before tuning starts executing the graph: the cache is what
+	// makes the thousands of candidate executions start warm.
+	var packIdx, firstGraphIdx, idx int
+	packIdx, firstGraphIdx = -1, -1
+	phases[0].Walk(func(n *obs.TreeNode, depth int) {
+		if strings.HasPrefix(n.Name, "pack_cache:") && packIdx < 0 {
+			packIdx = idx
+		}
+		if strings.HasPrefix(n.Name, "graph:") && firstGraphIdx < 0 {
+			firstGraphIdx = idx
+		}
+		idx++
+	})
+	if packIdx < 0 {
+		t.Error("no pack_cache span nested under phase:devtime")
+	} else if firstGraphIdx >= 0 && packIdx > firstGraphIdx {
+		t.Error("pack_cache prepass recorded after the first graph execution")
+	}
 }
