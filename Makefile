@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet lint lint-registry build test race chaos bench bench-smoke bench-diff trace
+.PHONY: ci fmt-check vet lint lint-registry build test race chaos bench bench-smoke bench-diff serve-smoke trace
 
-ci: fmt-check vet lint lint-registry build bench-diff race
+ci: fmt-check vet lint lint-registry build bench-diff serve-smoke race
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -56,21 +56,56 @@ chaos:
 	$(GO) test -race -v -run 'TestChaos|TestEdgeRunHonorsContext' ./internal/distrib
 
 # Kernel benchmarks (full benchtime) plus one pass of the end-to-end
-# per-figure experiment benchmarks, with allocation stats, parsed into
-# the committed BENCH_PR8.json snapshot (cmd/benchjson). Regenerate
-# after kernel work, then gate future changes with
-# `benchjson -diff BENCH_PR8.json new.json`. BENCH_PR6.json is the
-# pre-pack-cache baseline kept for the before/after comparison.
+# per-figure experiment benchmarks and the serving-layer loadgen
+# benchmark, with allocation stats, parsed into the committed
+# BENCH_PR9.json snapshot (cmd/benchjson). Regenerate after kernel or
+# serving work; the perf gate diffs it against BENCH_PR8.json (the
+# pre-serving snapshot). BENCH_PR6.json is the pre-pack-cache baseline
+# kept for the before/after comparison.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/tensorops > bench.out
-	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . >> bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_PR8.json < bench.out
+	$(GO) test -bench . -benchmem -benchtime 3x -run '^$$' . >> bench.out
+	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' ./internal/serve >> bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR9.json < bench.out
 	@rm bench.out
 
-# Perf-gate smoke: the diff mode must parse the committed snapshot and a
-# self-comparison must report zero regressions (time and allocs/op).
+# Perf gate: the committed post-serving snapshot must show no ns/op or
+# allocs/op regression over the committed pre-serving snapshot (ops new
+# in PR9 — the serve loadgen benchmark — are listed but never gate).
+# Both snapshots must come from the same host: benchmark numbers are
+# machine-specific (core count changes what batch-sharding buys).
+# The 35% threshold reflects single-tenant-noise on shared 1-core CI
+# hosts, where even 3-iteration end-to-end runs swing ~±15%; allocs/op
+# still gates at the same fraction and is noise-free.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_PR8.json BENCH_PR8.json
+	$(GO) run ./cmd/benchjson -diff -threshold 0.35 BENCH_PR8.json BENCH_PR9.json
+
+# End-to-end serving smoke: boot approxserve on a loopback port, wait
+# for the ready-file, fire one seeded closed-loop loadgen burst that
+# tolerates zero transport failures, then SIGTERM and require a clean
+# graceful drain (exit 0).
+serve-smoke:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/approxserve ./cmd/approxserve || exit 1; \
+	$(GO) build -o $$tmp/loadgen ./cmd/loadgen || exit 1; \
+	$$tmp/approxserve -addr 127.0.0.1:0 -benchmark lenet -width 0.25 \
+		-slo 250ms -ready-file $$tmp/ready & pid=$$!; \
+	ok=0; for i in $$(seq 1 100); do \
+		if [ -s $$tmp/ready ]; then ok=1; break; fi; sleep 0.1; \
+	done; \
+	if [ $$ok -ne 1 ]; then \
+		echo "serve-smoke: server never became ready"; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; \
+	fi; \
+	url="http://$$(cat $$tmp/ready)"; \
+	if ! $$tmp/loadgen -url $$url -n 32 -c 4 -items 2 -seed 7 -max-errors 0; then \
+		echo "serve-smoke: loadgen burst failed"; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; \
+	fi; \
+	kill -TERM $$pid; \
+	if ! wait $$pid; then \
+		echo "serve-smoke: server exited non-zero on drain"; rm -rf $$tmp; exit 1; \
+	fi; \
+	rm -rf $$tmp; \
+	echo "serve-smoke: OK"
 
 # One-iteration smoke run of every benchmark in the module.
 bench-smoke:

@@ -169,7 +169,7 @@ func runDistributed(app *approxtuner.App, devRes *approxtuner.Result, dev *appro
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: coord.Handler()}
+	srv := &http.Server{Handler: coord.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	defer srv.Close()
 	baseURL := "http://" + ln.Addr().String()

@@ -1,0 +1,88 @@
+// Command loadgen drives load against an approxserve endpoint and
+// reports latency quantiles and SLO attainment.
+//
+// Two arrival models:
+//
+//	loadgen -url http://127.0.0.1:8080 -n 200 -c 8            # closed loop
+//	loadgen -url http://127.0.0.1:8080 -n 500 -open -rps 200  # open-loop Poisson
+//
+// The closed loop keeps -c workers each waiting for their previous
+// response, so offered load adapts to the server. The open loop fires
+// requests at seeded Poisson arrivals of rate -rps regardless of
+// completions — the arrival process does not slow down when the server
+// does, which is what exposes queue buildup, backpressure (429) and
+// SLO erosion under overload.
+//
+// Runs are seeded and reproducible: the same -seed issues the same
+// input tensors and the same arrival gaps. -json writes the report for
+// machine consumption; -max-errors N makes the process exit non-zero
+// when transport failures exceed N (backpressure rejections and
+// deadline expiries are accounted separately and do not count).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "http://127.0.0.1:8080", "approxserve base URL")
+		open      = flag.Bool("open", false, "open-loop Poisson arrivals instead of the closed loop")
+		conc      = flag.Int("c", 4, "closed-loop concurrency (workers)")
+		rps       = flag.Float64("rps", 100, "open-loop arrival rate, requests/second")
+		n         = flag.Int("n", 100, "total requests")
+		items     = flag.Int("items", 1, "items per request (batch axis)")
+		seed      = flag.Int64("seed", 1, "seed for inputs and arrival gaps")
+		slo       = flag.Duration("slo", 0, "SLO threshold for the attainment report (0 = use the server's)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+		jsonOut   = flag.String("json", "", "write the report as JSON to this file (\"-\" for stdout)")
+		maxErrors = flag.Int("max-errors", -1, "exit non-zero when failed requests exceed this (-1 disables the gate)")
+	)
+	oc := obs.RegisterFlags(nil)
+	flag.Parse()
+	if err := oc.Activate(os.Stderr); err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	defer oc.Close()
+
+	rep, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		URL:             *url,
+		OpenLoop:        *open,
+		Concurrency:     *conc,
+		RPS:             *rps,
+		Requests:        *n,
+		ItemsPerRequest: *items,
+		Seed:            *seed,
+		SLO:             *slo,
+		Timeout:         *timeout,
+	})
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	fmt.Println(rep)
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+	}
+	if *maxErrors >= 0 && rep.Failed > *maxErrors {
+		log.Fatalf("loadgen: %d failed requests exceed -max-errors %d", rep.Failed, *maxErrors)
+	}
+}

@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Batch assembly for the serving path: concurrent inference requests
+// arrive as independent tensors (a single item, or a small batch each)
+// and are coalesced into one contiguous batch so a single graph
+// execution amortizes weight-panel reuse and exploits the batch-sharded
+// executor. Because every operator in the IR computes batch elements
+// independently (the same invariant executeSharded relies on), running
+// the concatenated batch and splitting the output along the leading axis
+// is bit-identical to executing each request alone —
+// TestConcatSplitMatchesIndividual pins this.
+
+// ConcatBatch coalesces request inputs into one batch tensor along the
+// leading axis. Inputs may carry heterogeneous leading (batch) sizes but
+// must agree on the per-item dimensions; a rank-(n-1) tensor matching
+// the item dimensions exactly is promoted to a single item. The returned
+// sizes slice records each request's item count, in order, for
+// SplitBatch to undo the concatenation.
+func ConcatBatch(inputs []*tensor.Tensor) (*tensor.Tensor, []int, error) {
+	if len(inputs) == 0 {
+		return nil, nil, fmt.Errorf("graph: concat of zero inputs")
+	}
+	first := inputs[0]
+	if first == nil || first.Rank() < 1 {
+		return nil, nil, fmt.Errorf("graph: concat input 0 is empty")
+	}
+	item := first.Shape().Dims()[1:]
+	sizes := make([]int, len(inputs))
+	total := 0
+	for i, in := range inputs {
+		if in == nil || in.Rank() < 1 {
+			return nil, nil, fmt.Errorf("graph: concat input %d is empty", i)
+		}
+		dims := in.Shape().Dims()
+		switch {
+		case sameDims(dims[1:], item):
+			sizes[i] = dims[0]
+		case sameDims(dims, item):
+			// Single item without an explicit batch axis.
+			sizes[i] = 1
+		default:
+			return nil, nil, fmt.Errorf("graph: concat input %d has item shape %v, want %v", i, dims, item)
+		}
+		total += sizes[i]
+	}
+	if len(inputs) == 1 && sizes[0] == first.Dim(0) && first.Rank() >= 2 {
+		// Already a well-formed batch: no copy needed.
+		return first, sizes, nil
+	}
+	out := tensor.New(append([]int{total}, item...)...)
+	od := out.Data()
+	off := 0
+	for _, in := range inputs {
+		off += copy(od[off:], in.Data())
+	}
+	return out, sizes, nil
+}
+
+// SplitBatch undoes ConcatBatch on the execution output: it slices the
+// leading axis back into per-request tensors of the recorded item
+// counts. The output's leading dimension must equal the sum of sizes
+// (guaranteed for the IR's operators, whose outputs preserve the batch
+// axis). The returned tensors are fresh copies, safe to hand to
+// concurrent responders after the batch buffer is reused.
+func SplitBatch(out *tensor.Tensor, sizes []int) ([]*tensor.Tensor, error) {
+	if out == nil || out.Rank() < 1 {
+		return nil, fmt.Errorf("graph: split of an empty output")
+	}
+	total := 0
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("graph: bad split size %d", s)
+		}
+		total += s
+	}
+	if out.Dim(0) != total {
+		return nil, fmt.Errorf("graph: output batch %d does not cover request sizes summing to %d", out.Dim(0), total)
+	}
+	per := out.Elems() / out.Dim(0)
+	itemDims := out.Shape().Dims()[1:]
+	od := out.Data()
+	parts := make([]*tensor.Tensor, len(sizes))
+	off := 0
+	for i, s := range sizes {
+		data := make([]float32, s*per)
+		copy(data, od[off*per:(off+s)*per])
+		parts[i] = tensor.FromSlice(data, append([]int{s}, itemDims...)...)
+		off += s
+	}
+	return parts, nil
+}
+
+func sameDims(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

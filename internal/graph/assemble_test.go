@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/tensor"
+)
+
+// TestConcatSplitRoundTrip pins the assembly plumbing: heterogeneous
+// request batches concatenate in order and split back bit-identically.
+func TestConcatSplitRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	mk := func(n int) *tensor.Tensor {
+		x := tensor.New(n, 1, 8, 8)
+		rng.FillNormal(x, 0, 1)
+		return x
+	}
+	ins := []*tensor.Tensor{mk(1), mk(3), mk(2), mk(1)}
+	batch, sizes, err := ConcatBatch(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Dim(0) != 7 {
+		t.Fatalf("batch dim = %d, want 7", batch.Dim(0))
+	}
+	want := []int{1, 3, 2, 1}
+	for i, s := range sizes {
+		if s != want[i] {
+			t.Fatalf("sizes = %v, want %v", sizes, want)
+		}
+	}
+	parts, err := SplitBatch(batch, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parts {
+		if outDigest(p) != outDigest(ins[i]) {
+			t.Errorf("request %d round-trip differs", i)
+		}
+	}
+}
+
+// TestConcatBatchValidation pins the error paths: empty input sets,
+// mismatched item shapes, and split sizes that do not cover the batch.
+func TestConcatBatchValidation(t *testing.T) {
+	if _, _, err := ConcatBatch(nil); err == nil {
+		t.Error("empty input set must error")
+	}
+	a := tensor.New(2, 1, 8, 8)
+	bad := tensor.New(2, 1, 4, 4)
+	if _, _, err := ConcatBatch([]*tensor.Tensor{a, bad}); err == nil {
+		t.Error("mismatched item dims must error")
+	}
+	if _, err := SplitBatch(a, []int{3}); err == nil {
+		t.Error("split sizes not covering the batch must error")
+	}
+	if _, err := SplitBatch(a, []int{2, 0}); err == nil {
+		t.Error("non-positive split size must error")
+	}
+	// A single well-formed batch passes through without copying.
+	same, sizes, err := ConcatBatch([]*tensor.Tensor{a})
+	if err != nil || same != a || sizes[0] != 2 {
+		t.Errorf("single-batch fast path: %v %v %v", same, sizes, err)
+	}
+}
+
+// TestConcatSplitMatchesIndividual pins the serving-path invariant: a
+// coalesced execution followed by a split is bit-identical to executing
+// each request alone, under both the exact configuration and an
+// approximate one — the same per-batch-element operator independence the
+// sharded executor relies on.
+func TestConcatSplitMatchesIndividual(t *testing.T) {
+	rng := tensor.NewRNG(17)
+	gr := tinyNet(rng)
+	mk := func(n int) *tensor.Tensor {
+		x := tensor.New(n, 1, 8, 8)
+		rng.FillNormal(x, 0, 1)
+		return x
+	}
+	ins := []*tensor.Tensor{mk(2), mk(1), mk(4)}
+
+	convOp := gr.ApproxOps()[0]
+	cfgs := map[string]approx.Config{
+		"exact": nil,
+		"fp16":  {convOp: approx.KnobFP16},
+	}
+	for name, cfg := range cfgs {
+		batch, sizes, err := ConcatBatch(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts, err := SplitBatch(gr.Execute(batch, cfg, ExecOptions{}), sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, in := range ins {
+			solo := gr.Execute(in, cfg, ExecOptions{})
+			if outDigest(parts[i]) != outDigest(solo) {
+				t.Errorf("%s: request %d differs between coalesced and individual execution", name, i)
+			}
+		}
+	}
+}

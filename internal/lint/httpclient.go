@@ -13,16 +13,21 @@ import (
 // exact failure mode the distributed protocol's fault model exists to
 // prevent. Production code must build an http.Client with an explicit
 // Timeout (or install a per-request context deadline through a client it
-// constructed). Test files are exempt: httptest servers are local and
-// tests carry their own deadlines.
+// constructed). The server side has the mirror-image hole: an
+// http.Server without a ReadHeaderTimeout lets a slowloris peer hold
+// connections open indefinitely by trickling header bytes, pinning
+// accept slots until the listener starves. Test files are exempt:
+// httptest servers are local and tests carry their own deadlines.
 
 // HTTPDefault flags use of http.DefaultClient, the package-level request
-// helpers, and http.Client literals without a Timeout.
+// helpers, http.Client literals without a Timeout, and http.Server
+// literals without a ReadHeaderTimeout (or ReadTimeout, which covers
+// header reads too).
 type HTTPDefault struct{}
 
 func (HTTPDefault) Name() string { return "httpdefault" }
 func (HTTPDefault) Doc() string {
-	return "no http.DefaultClient or timeout-less http.Client outside tests; every client needs an explicit Timeout"
+	return "no http.DefaultClient, timeout-less http.Client, or http.Server without ReadHeaderTimeout outside tests"
 }
 
 // httpHelperFuncs are the net/http package-level functions that issue
@@ -76,26 +81,41 @@ func (HTTPDefault) Run(pass *Pass) {
 				}
 			case *ast.CompositeLit:
 				sel, ok := node.Type.(*ast.SelectorExpr)
-				if !ok || sel.Sel.Name != "Client" {
+				if !ok || (sel.Sel.Name != "Client" && sel.Sel.Name != "Server") {
 					return true
 				}
 				id, ok := sel.X.(*ast.Ident)
 				if !ok || !isHTTPPkg(id) {
 					return true
 				}
+				// The field whose absence leaves the literal unbounded:
+				// a Client hangs without Timeout; a Server is slowloris-
+				// exposed without ReadHeaderTimeout (ReadTimeout also
+				// bounds header reads, so either suffices).
+				satisfies := func(name string) bool { return name == "Timeout" }
+				if sel.Sel.Name == "Server" {
+					satisfies = func(name string) bool {
+						return name == "ReadHeaderTimeout" || name == "ReadTimeout"
+					}
+				}
 				for _, el := range node.Elts {
 					if kv, ok := el.(*ast.KeyValueExpr); ok {
-						if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Timeout" {
+						if key, ok := kv.Key.(*ast.Ident); ok && satisfies(key.Name) {
 							return true
 						}
 					} else {
-						// Positional literal: every field (including
-						// Timeout) is spelled out explicitly.
+						// Positional literal: every field (including the
+						// timeout) is spelled out explicitly.
 						return true
 					}
 				}
-				pass.Reportf(node.Pos(),
-					"http.Client literal without a Timeout can hang forever; set an explicit Timeout")
+				if sel.Sel.Name == "Server" {
+					pass.Reportf(node.Pos(),
+						"http.Server literal without a ReadHeaderTimeout is slowloris-exposed; set ReadHeaderTimeout (or ReadTimeout)")
+				} else {
+					pass.Reportf(node.Pos(),
+						"http.Client literal without a Timeout can hang forever; set an explicit Timeout")
+				}
 			}
 			return true
 		})

@@ -40,3 +40,31 @@ func Suppressed() *http.Client {
 	//lint:ignore httpdefault fixture: documented intentional timeout-less client
 	return &http.Client{}
 }
+
+// ServerNoTimeout builds a listener without any header-read bound — a
+// slowloris peer can pin its accept slots — flagged.
+func ServerNoTimeout(h http.Handler) *http.Server {
+	return &http.Server{Handler: h} // want httpdefault
+}
+
+// EmptyServer is the zero server — flagged.
+func EmptyServer() *http.Server {
+	return &http.Server{} // want httpdefault
+}
+
+// ServerWithHeaderTimeout bounds header reads — not flagged.
+func ServerWithHeaderTimeout(h http.Handler) *http.Server {
+	return &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+}
+
+// ServerWithReadTimeout bounds the whole read, headers included — not
+// flagged.
+func ServerWithReadTimeout(h http.Handler) *http.Server {
+	return &http.Server{Handler: h, ReadTimeout: 10 * time.Second}
+}
+
+// SuppressedServer carries a justified ignore directive — not flagged.
+func SuppressedServer(h http.Handler) *http.Server {
+	//lint:ignore httpdefault fixture: documented intentional unbounded server
+	return &http.Server{Handler: h}
+}

@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/approx"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
+
+// Serving telemetry. Queue and latency state lands on /metrics (JSON or
+// Prometheus text); per-server counts live in Server.stats for /statz.
+var (
+	mRequests      = obs.NewCounter("serve.requests")
+	mRejectedFull  = obs.NewCounter("serve.rejected_full")
+	mRejectedDrain = obs.NewCounter("serve.rejected_draining")
+	mExpired       = obs.NewCounter("serve.deadline_expired")
+	mFailed        = obs.NewCounter("serve.failures")
+	mBatches       = obs.NewCounter("serve.batches")
+	mSLOMiss       = obs.NewCounter("serve.slo_misses")
+
+	gQueueDepth  = obs.NewGauge("serve.queue_depth")
+	gInFlight    = obs.NewGauge("serve.in_flight")
+	gRecalNeeded = obs.NewGauge("serve.recalibration_needed")
+
+	qRequest    = obs.NewQHistogram("serve.request_seconds")
+	qQueueWait  = obs.NewQHistogram("serve.queue_wait_seconds")
+	qExec       = obs.NewQHistogram("serve.exec_seconds")
+	qBatchItems = obs.NewQHistogram("serve.batch_items")
+	qEndpoint   = obs.NewQHistVec("serve.http_seconds")
+	qConfigExec = obs.NewQHistVec("serve.config_exec_seconds")
+)
+
+// stats is the per-server request accounting behind /statz.
+type stats struct {
+	requests  atomic.Int64
+	served    atomic.Int64
+	rejected  atomic.Int64
+	expired   atomic.Int64
+	failed    atomic.Int64
+	sloMisses atomic.Int64
+	batches   atomic.Int64
+}
+
+// pending is one admitted inference request waiting for its batch.
+type pending struct {
+	in    *tensor.Tensor
+	items int
+	ctx   context.Context
+	enq   time.Time
+	res   chan result // buffered(1); the batcher sends exactly once
+}
+
+// result is the batcher's answer to one pending request.
+type result struct {
+	out        *tensor.Tensor
+	cfgIdx     int
+	cfgLabel   string
+	batchItems int
+	queueWait  time.Duration
+	exec       time.Duration
+	err        error
+}
+
+type admitState int
+
+const (
+	admitOK admitState = iota
+	admitFull
+	admitDraining
+)
+
+// enqueue admits a request into the bounded queue without blocking.
+// The enqWG bracket makes Shutdown's close(queue) safe: the drain flag
+// is checked under the same lock that Shutdown sets it under, so once
+// enqWG.Wait returns no admission can touch the channel.
+func (s *Server) enqueue(p *pending) admitState {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return admitDraining
+	}
+	s.enqWG.Add(1)
+	s.mu.Unlock()
+	defer s.enqWG.Done()
+	select {
+	case s.queue <- p:
+		gQueueDepth.Set(float64(len(s.queue)))
+		return admitOK
+	default:
+		return admitFull
+	}
+}
+
+// loop is the micro-batcher: it blocks for the first request of a
+// batch, lingers briefly to coalesce followers, and executes the batch
+// under the tuner's current configuration. It exits when Shutdown
+// closes the queue, after executing everything already admitted —
+// including a request held over from a batch it would have overflowed.
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	for {
+		first := s.held
+		s.held = nil
+		if first == nil {
+			var ok bool
+			first, ok = <-s.queue
+			if !ok {
+				return
+			}
+		}
+		batch := s.collect(first)
+		gQueueDepth.Set(float64(len(s.queue)))
+		s.runBatch(batch)
+	}
+}
+
+// collect gathers requests for one batch: up to MaxBatch items, waiting
+// at most Linger after the first arrival. During drain the closed queue
+// yields immediately, so the tail flushes without lingering.
+func (s *Server) collect(first *pending) []*pending {
+	reqs := []*pending{first}
+	items := first.items
+	if items >= s.cfg.MaxBatch {
+		return reqs
+	}
+	timer := time.NewTimer(s.cfg.Linger)
+	defer timer.Stop()
+	for items < s.cfg.MaxBatch {
+		select {
+		case p, ok := <-s.queue:
+			if !ok {
+				return reqs
+			}
+			if items+p.items > s.cfg.MaxBatch {
+				// Would overflow the batch: hold it as the seed of the
+				// next one. The hold slot belongs to the loop goroutine,
+				// so an admitted request survives even if the queue is
+				// closed for drain before the next iteration.
+				s.held = p
+				return reqs
+			}
+			reqs = append(reqs, p)
+			items += p.items
+		case <-timer.C:
+			return reqs
+		}
+	}
+	return reqs
+}
+
+// runBatch executes one coalesced batch under the configuration the
+// tuner currently selects and answers every request in it exactly once.
+func (s *Server) runBatch(reqs []*pending) {
+	start := time.Now()
+	// Expire requests whose deadline passed while queued: executing
+	// them wastes batch capacity on an answer nobody is waiting for.
+	live := reqs[:0]
+	for _, p := range reqs {
+		if p.ctx.Err() != nil {
+			p.res <- result{err: p.ctx.Err()}
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	pt, idx := s.tuner.Acquire()
+	inputs := make([]*tensor.Tensor, len(live))
+	items := 0
+	for i, p := range live {
+		inputs[i] = p.in
+		items += p.items
+	}
+	batch, sizes, err := graph.ConcatBatch(inputs)
+	if err != nil {
+		s.fail(live, err)
+		return
+	}
+	out, err := s.execute(batch, pt.Config)
+	wall := time.Since(start)
+	if err != nil {
+		s.fail(live, err)
+		return
+	}
+	// One batch execution is one tuner invocation: the measured latency
+	// is attributed to the curve index acquired above, so a sample can
+	// never be credited to a configuration that did not produce it —
+	// even if the controller switches while this batch is in flight.
+	exec := wall.Seconds()
+	if s.cfg.MeasureExec != nil {
+		exec = s.cfg.MeasureExec(pt.Config, items)
+	}
+	// The tuner's budget is calibrated for a full batch, but execution
+	// cost is roughly linear in items: feed it the full-batch-equivalent
+	// time so a half-empty batch on an idle server doesn't read as a 2x
+	// "fast drift" (latching a spurious recalibration alarm), and a real
+	// slowdown shows the same ratio at any occupancy. At full batches
+	// the factor is 1, so the loaded-system control signal is unchanged.
+	normExec := exec * float64(s.cfg.MaxBatch) / float64(items)
+	s.tuner.RecordInvocationAt(idx, normExec)
+
+	parts, err := graph.SplitBatch(out, sizes)
+	if err != nil {
+		s.fail(live, err)
+		return
+	}
+
+	s.stats.batches.Add(1)
+	mBatches.Inc()
+	qExec.Observe(exec)
+	qBatchItems.Observe(float64(items))
+	qConfigExec.With(configLabel(pt.Config)).Observe(exec)
+	if s.tuner.RecalibrationNeeded() {
+		gRecalNeeded.Set(1)
+	}
+	s.mu.Lock()
+	s.trace = append(s.trace, idx)
+	if len(s.trace) > maxBatchTrace {
+		s.trace = s.trace[len(s.trace)-maxBatchTrace:]
+	}
+	s.mu.Unlock()
+
+	label := configLabel(pt.Config)
+	for i, p := range live {
+		wait := start.Sub(p.enq)
+		qQueueWait.Observe(wait.Seconds())
+		p.res <- result{
+			out:        parts[i],
+			cfgIdx:     idx,
+			cfgLabel:   label,
+			batchItems: items,
+			queueWait:  wait,
+			exec:       wall,
+		}
+	}
+}
+
+// maxBatchTrace bounds the retained per-batch configuration trace.
+const maxBatchTrace = 65536
+
+// execute runs the graph, converting an executor panic (malformed
+// input, knob misuse) into an error so one poisoned request cannot take
+// down the batcher.
+func (s *Server) execute(batch *tensor.Tensor, cfg approx.Config) (out *tensor.Tensor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: execution failed: %v", r)
+		}
+	}()
+	return s.cfg.Graph.Execute(batch, cfg, graph.ExecOptions{RNG: s.rng}), nil
+}
+
+func (s *Server) fail(reqs []*pending, err error) {
+	for _, p := range reqs {
+		p.res <- result{err: err}
+	}
+}

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkServeLoadgen measures the end-to-end serving path — HTTP,
+// admission, micro-batching, approximate execution, tuner feedback —
+// with a seeded closed-loop load generator. ns/op is the per-request
+// wall time at concurrency 4; the reported extra metrics track tail
+// latency and batching effectiveness.
+func BenchmarkServeLoadgen(b *testing.B) {
+	gr := testNet(31)
+	cfg := Config{
+		Graph:    gr,
+		Curve:    testCurve(gr),
+		ItemDims: testItemDims,
+		SLO:      100 * time.Millisecond,
+		Linger:   200 * time.Microsecond,
+		MaxQueue: 256,
+		Seed:     31,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		URL:         "http://" + s.Addr(),
+		Concurrency: 4,
+		Requests:    b.N,
+		Seed:        3,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Failed > 0 {
+		b.Fatalf("%d failed requests", rep.Failed)
+	}
+	b.ReportMetric(rep.P99Ms, "p99-ms")
+	b.ReportMetric(rep.SLOAttainment*100, "slo-%")
+	if rep.Sent > 0 {
+		st := s.Stats()
+		if st.Batches > 0 {
+			b.ReportMetric(float64(st.Served)/float64(st.Batches), "req/batch")
+		}
+	}
+}

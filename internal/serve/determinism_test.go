@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+)
+
+// runSeededScenario boots a server with a deterministic MeasureExec
+// model (×2 slowdown injected mid-run), drives a seeded single-client
+// closed loop, and returns the per-batch configuration trace and the
+// tuner's switch trace.
+func runSeededScenario(t *testing.T) ([]int, []core.SwitchEvent) {
+	t.Helper()
+	gr := testNet(9)
+	curve := testCurve(gr)
+	nOps := len(gr.Nodes)
+	perfOf := perfByKey(curve, nOps)
+	const budget = 5 * time.Millisecond
+	var batches atomic.Int64
+	measure := func(cfg approx.Config, items int) float64 {
+		n := batches.Add(1)
+		factor := 1.0
+		if n > 12 {
+			factor = 2.0
+		}
+		return factor * budget.Seconds() / perfOf[cfg.Key(nOps)]
+	}
+
+	cfg := testConfig(gr)
+	cfg.Curve = curve
+	cfg.SLO = 4 * budget
+	cfg.ExecBudget = budget
+	cfg.Window = 3
+	cfg.MaxBatch = 1
+	cfg.Seed = 21
+	cfg.MeasureExec = measure
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		URL:         "http://" + s.Addr(),
+		Concurrency: 1,
+		Requests:    36,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 36 {
+		t.Fatalf("closed loop: %d ok of 36", rep.OK)
+	}
+	return s.BatchTrace(), s.Tuner().SwitchTrace()
+}
+
+// TestServeDeterministicTraceAcrossGOMAXPROCS pins the end-to-end
+// determinism contract: a seeded closed-loop run — same seeds, same
+// request sequence, same modeled latencies — produces an identical
+// per-batch configuration trace and switch trace whether the process
+// runs on one core or many. A sequential client serializes batches, and
+// every control-loop input is derived from seeds rather than the wall
+// clock, so scheduling cannot perturb the controller's decisions.
+func TestServeDeterministicTraceAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(1)
+	trace1, switches1 := runSeededScenario(t)
+	runtime.GOMAXPROCS(8)
+	trace8, switches8 := runSeededScenario(t)
+
+	if len(trace1) != len(trace8) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(trace1), len(trace8))
+	}
+	for i := range trace1 {
+		if trace1[i] != trace8[i] {
+			t.Fatalf("batch %d executed config %d at GOMAXPROCS=1 but %d at 8\nfull traces:\n1: %v\n8: %v",
+				i, trace1[i], trace8[i], trace1, trace8)
+		}
+	}
+	if len(switches1) != len(switches8) {
+		t.Fatalf("switch traces differ in length: %d vs %d", len(switches1), len(switches8))
+	}
+	for i := range switches1 {
+		if switches1[i] != switches8[i] {
+			t.Fatalf("switch %d differs: %+v vs %+v", i, switches1[i], switches8[i])
+		}
+	}
+	if len(switches1) == 0 {
+		t.Error("scenario produced no switches; the determinism check is vacuous")
+	}
+}
