@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet lint lint-registry build test race chaos bench bench-smoke bench-diff serve-smoke trace
+.PHONY: ci fmt-check vet lint lint-registry build test race chaos bench bench-smoke bench-diff serve-smoke trace-smoke trace
 
-ci: fmt-check vet lint lint-registry build bench-diff serve-smoke race
+ci: fmt-check vet lint lint-registry build bench-diff serve-smoke trace-smoke race
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -56,29 +56,29 @@ chaos:
 	$(GO) test -race -v -run 'TestChaos|TestEdgeRunHonorsContext' ./internal/distrib
 
 # Kernel benchmarks (full benchtime) plus one pass of the end-to-end
-# per-figure experiment benchmarks and the serving-layer loadgen
-# benchmark, with allocation stats, parsed into the committed
-# BENCH_PR9.json snapshot (cmd/benchjson). Regenerate after kernel or
-# serving work; the perf gate diffs it against BENCH_PR8.json (the
-# pre-serving snapshot). BENCH_PR6.json is the pre-pack-cache baseline
-# kept for the before/after comparison.
+# per-figure experiment benchmarks and the serving-layer loadgen and
+# tracing-overhead benchmarks, with allocation stats, parsed into the
+# committed BENCH_PR10.json snapshot (cmd/benchjson). Regenerate after
+# kernel or serving work; the perf gate diffs it against BENCH_PR9.json
+# (the pre-tracing snapshot). BENCH_PR6.json is the pre-pack-cache
+# baseline kept for the before/after comparison.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/tensorops > bench.out
 	$(GO) test -bench . -benchmem -benchtime 3x -run '^$$' . >> bench.out
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' ./internal/serve >> bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_PR9.json < bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR10.json < bench.out
 	@rm bench.out
 
-# Perf gate: the committed post-serving snapshot must show no ns/op or
-# allocs/op regression over the committed pre-serving snapshot (ops new
-# in PR9 — the serve loadgen benchmark — are listed but never gate).
+# Perf gate: the committed post-tracing snapshot must show no ns/op or
+# allocs/op regression over the committed pre-tracing snapshot (ops new
+# in PR10 — the tracing-overhead benchmark — are listed but never gate).
 # Both snapshots must come from the same host: benchmark numbers are
 # machine-specific (core count changes what batch-sharding buys).
 # The 35% threshold reflects single-tenant-noise on shared 1-core CI
 # hosts, where even 3-iteration end-to-end runs swing ~±15%; allocs/op
 # still gates at the same fraction and is noise-free.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff -threshold 0.35 BENCH_PR8.json BENCH_PR9.json
+	$(GO) run ./cmd/benchjson -diff -threshold 0.35 BENCH_PR9.json BENCH_PR10.json
 
 # End-to-end serving smoke: boot approxserve on a loopback port, wait
 # for the ready-file, fire one seeded closed-loop loadgen burst that
@@ -106,6 +106,41 @@ serve-smoke:
 	fi; \
 	rm -rf $$tmp; \
 	echo "serve-smoke: OK"
+
+# End-to-end tracing smoke: boot approxserve with the chaos slowdown
+# hook (×3 after 6 batches) and a flight file, fire a seeded burst whose
+# loadgen must (a) see zero failures, (b) collect slowest/failed trace
+# IDs from traceparent response headers, and (c) verify over
+# /debug/flight that the drift alarm fired and at least one reported
+# trace's span is in the live ring. The drift latch must also have
+# dumped the alarm into the flight file.
+trace-smoke:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/approxserve ./cmd/approxserve || exit 1; \
+	$(GO) build -o $$tmp/loadgen ./cmd/loadgen || exit 1; \
+	$$tmp/approxserve -addr 127.0.0.1:0 -benchmark lenet -width 0.25 \
+		-slo 250ms -window 4 -trace-seed 11 -slow-after 6 -slow-factor 3 \
+		-flight $$tmp/flight.jsonl -ready-file $$tmp/ready & pid=$$!; \
+	ok=0; for i in $$(seq 1 100); do \
+		if [ -s $$tmp/ready ]; then ok=1; break; fi; sleep 0.1; \
+	done; \
+	if [ $$ok -ne 1 ]; then \
+		echo "trace-smoke: server never became ready"; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; \
+	fi; \
+	url="http://$$(cat $$tmp/ready)"; \
+	if ! $$tmp/loadgen -url $$url -n 96 -c 4 -items 2 -seed 7 -max-errors 0 \
+		-slowest 5 -verify-flight runtime.drift_alarm; then \
+		echo "trace-smoke: traced burst or flight verification failed"; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; \
+	fi; \
+	if ! grep -q 'runtime.drift_alarm' $$tmp/flight.jsonl; then \
+		echo "trace-smoke: drift latch never dumped the alarm to the flight file"; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; \
+	fi; \
+	kill -TERM $$pid; \
+	if ! wait $$pid; then \
+		echo "trace-smoke: server exited non-zero on drain"; rm -rf $$tmp; exit 1; \
+	fi; \
+	rm -rf $$tmp; \
+	echo "trace-smoke: OK"
 
 # One-iteration smoke run of every benchmark in the module.
 bench-smoke:

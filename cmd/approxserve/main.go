@@ -57,6 +57,12 @@ func main() {
 		linger     = flag.Duration("linger", serve.DefaultLinger, "batcher linger after the first request of a batch")
 		drain      = flag.Duration("drain-timeout", serve.DefaultDrainTimeout, "graceful-drain bound on shutdown")
 		readyFile  = flag.String("ready-file", "", "write the bound address to this file once serving")
+
+		traceReqs  = flag.Bool("trace-requests", true, "request-scoped tracing: per-request spans, traceparent propagation, tail sampling, histogram exemplars")
+		traceSeed  = flag.Int64("trace-seed", 0, "seed for trace IDs and tail-sampling floor decisions (0 = clock-derived)")
+		flightPath = flag.String("flight", "", "append flight-recorder dumps (drift latch, health 503) to this file as JSONL")
+		slowAfter  = flag.Int("slow-after", 0, "with -slow-factor: inject the slowdown after this many batches")
+		slowFactor = flag.Float64("slow-factor", 0, "inject an artificial batch slowdown of this factor (>1) — chaos/smoke hook")
 	)
 	oc := obs.RegisterFlags(nil)
 	flag.Parse()
@@ -101,20 +107,41 @@ func main() {
 		logger.Infof("approxserve: calibrated per-batch exec budget: %v (batch of %d)\n", budget, *maxBatch)
 	}
 
-	srv, err := serve.New(serve.Config{
-		Graph:        g,
-		Curve:        curve,
-		ItemDims:     itemDims,
-		Policy:       policy,
-		SLO:          *slo,
-		ExecBudget:   budget,
-		Window:       *window,
-		MaxBatch:     *maxBatch,
-		MaxQueue:     *maxQueue,
-		Linger:       *linger,
-		Seed:         *seed,
-		DrainTimeout: *drain,
-	})
+	cfg := serve.Config{
+		Graph:          g,
+		Curve:          curve,
+		ItemDims:       itemDims,
+		Policy:         policy,
+		SLO:            *slo,
+		ExecBudget:     budget,
+		Window:         *window,
+		MaxBatch:       *maxBatch,
+		MaxQueue:       *maxQueue,
+		Linger:         *linger,
+		Seed:           *seed,
+		DrainTimeout:   *drain,
+		SlowdownFactor: *slowFactor,
+		SlowdownAfter:  *slowAfter,
+	}
+	var sampler *obs.TailSampler
+	if *traceReqs {
+		sampler = obs.NewTailSampler(obs.TailSamplerOptions{Seed: *traceSeed})
+		cfg.Sampler = sampler
+		cfg.Tracer = obs.NewTracer(obs.TracerOptions{
+			KeepInMemory: 1024,
+			IDSeed:       *traceSeed,
+			Sinks:        []obs.SpanSink{sampler},
+		})
+	}
+	if *flightPath != "" {
+		f, err := os.OpenFile(*flightPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("approxserve: %v", err)
+		}
+		defer f.Close()
+		cfg.FlightLog = f
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		log.Fatalf("approxserve: %v", err)
 	}
@@ -129,9 +156,21 @@ func main() {
 		}
 	}
 
+	// SIGQUIT dumps the flight recorder to stderr and keeps serving (the
+	// classic "what is this process doing right now" probe); SIGINT and
+	// SIGTERM drain gracefully.
 	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	sig := <-sigc
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
+	var sig os.Signal
+	for sig = range sigc {
+		if sig != syscall.SIGQUIT {
+			break
+		}
+		logger.Infof("approxserve: SIGQUIT received; dumping flight recorder\n")
+		if err := obs.Flight().Dump(os.Stderr); err != nil {
+			logger.Infof("approxserve: flight dump: %v\n", err)
+		}
+	}
 	logger.Infof("approxserve: %v received; draining\n", sig)
 	if err := srv.Close(); err != nil {
 		log.Fatalf("approxserve: drain: %v", err)
@@ -139,6 +178,10 @@ func main() {
 	st := srv.Stats()
 	logger.Infof("approxserve: drained cleanly: %d served, %d rejected, %d expired, %d batches, %d switches\n",
 		st.Served, st.Rejected, st.Expired, st.Batches, st.Switches)
+	if sampler != nil {
+		seen, keptN, evicted := sampler.Stats()
+		logger.Infof("approxserve: tail sampler: %d traces seen, %d kept, %d evicted undecided\n", seen, keptN, evicted)
+	}
 }
 
 // buildModel constructs the served graph from a zoo benchmark or a JSON

@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
@@ -46,6 +47,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
 		jsonOut   = flag.String("json", "", "write the report as JSON to this file (\"-\" for stdout)")
 		maxErrors = flag.Int("max-errors", -1, "exit non-zero when failed requests exceed this (-1 disables the gate)")
+		slowest   = flag.Int("slowest", 3, "report trace IDs of this many slowest requests (traceparent response header)")
+		verify    = flag.String("verify-flight", "", "after the run, fetch /debug/flight and require this event plus a span from a reported trace (smoke-test gate)")
 	)
 	oc := obs.RegisterFlags(nil)
 	flag.Parse()
@@ -64,11 +67,20 @@ func main() {
 		Seed:            *seed,
 		SLO:             *slo,
 		Timeout:         *timeout,
+		SlowestK:        *slowest,
 	})
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
 	}
 	fmt.Println(rep)
+
+	if *verify != "" {
+		client := &http.Client{Timeout: *timeout}
+		if err := serve.VerifyFlight(context.Background(), client, *url, *verify, rep.TraceIDs()); err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		fmt.Printf("flight verified: event %q present and dump links a reported trace\n", *verify)
+	}
 
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

@@ -220,6 +220,16 @@ func (rt *RuntimeTuner) raiseAlarm(ch *configHealth) {
 	rt.driftAlarms++
 	rt.recalibrate = true
 	mRtDriftAlarms.Inc()
+	obs.Flight().Event("runtime.drift_alarm",
+		fmt.Sprintf("config=%d alarms=%d invocation=%d", rt.curIdx, rt.driftAlarms, rt.invocations), obs.TraceID{})
+}
+
+// DriftAlarms counts detector transitions into the drifting state over
+// the tuner's lifetime (preserved across curve swaps).
+func (rt *RuntimeTuner) DriftAlarms() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.driftAlarms
 }
 
 // RecalibrationNeeded reports whether any configuration has raised a

@@ -293,6 +293,8 @@ func (rt *RuntimeTuner) switchTo(next pareto.Point) {
 	if len(rt.trace) > maxSwitchTrace {
 		rt.trace = rt.trace[len(rt.trace)-maxSwitchTrace:]
 	}
+	obs.Flight().Event("runtime.config_switch",
+		fmt.Sprintf("from=%d to=%d invocation=%d", from, rt.curIdx, rt.invocations), obs.TraceID{})
 }
 
 // SwapCurve hot-swaps the tradeoff curve the controller selects from —
@@ -322,6 +324,8 @@ func (rt *RuntimeTuner) SwapCurve(curve *pareto.Curve) error {
 	if len(rt.trace) > maxSwitchTrace {
 		rt.trace = rt.trace[len(rt.trace)-maxSwitchTrace:]
 	}
+	obs.Flight().Event("runtime.curve_swap",
+		fmt.Sprintf("swap=%d to=%d invocation=%d", rt.curveSwaps, rt.curIdx, rt.invocations), obs.TraceID{})
 	return nil
 }
 

@@ -47,10 +47,17 @@ type Edge struct {
 	RetryBase time.Duration
 	// Failpoints injects protocol-step crashes for chaos testing.
 	Failpoints Failpoints
+	// Tracer, when set, wraps the run in an edge:run span with one child
+	// per HTTP request, injects W3C traceparent headers so the
+	// coordinator can record its side of each call, and uploads the
+	// run's completed spans with the end-of-run telemetry. Nil disables
+	// tracing at zero cost.
+	Tracer *obs.Tracer
 
 	httpc   *http.Client
 	rng     *tensor.RNG // backoff jitter stream (never touches tuning RNGs)
 	attempt int         // logical-operation idempotency token counter
+	span    *obs.Span   // run-level root span (nil when Tracer is nil)
 
 	// Client-side telemetry, reported best-effort to POST /v1/telemetry
 	// at the end of Run. An Edge runs from a single goroutine, so the
@@ -138,6 +145,10 @@ func (e *Edge) Run(ctx context.Context) (*pareto.Curve, error) {
 	e.rng = tensor.NewRNG(e.Seed + 9001 + int64(e.ID)*7919)
 	if e.telLat == nil {
 		e.telLat = obs.NewQHist()
+	}
+	if e.Tracer != nil {
+		e.span = e.Tracer.Start("edge:run").With("edge", e.ID)
+		defer e.span.End()
 	}
 
 	// Step 1: register, get shard assignment.
@@ -239,8 +250,27 @@ func (e *Edge) reportTelemetry(ctx context.Context) {
 		Timeouts: e.telTimeouts,
 		Latency:  e.telLat.Snapshot(),
 	}
+	if e.span != nil {
+		// Ship the run's completed request spans so GET /v1/stats can
+		// assemble the cross-process trace (bounded: telemetry must stay a
+		// small best-effort payload).
+		tid := e.span.TraceID()
+		for _, rec := range e.Tracer.Records() {
+			if rec.TraceID != tid {
+				continue
+			}
+			req.Spans = append(req.Spans, rec)
+			if len(req.Spans) >= maxUploadSpans {
+				break
+			}
+		}
+	}
 	_ = e.post(ctx, "/v1/telemetry", req, nil)
 }
+
+// maxUploadSpans bounds the span records attached to one telemetry
+// upload.
+const maxUploadSpans = 256
 
 // shardProgram shards the edge's full program for an arbitrary
 // calibration range (used when taking over a dead edge's shard).
@@ -361,12 +391,24 @@ func (e *Edge) doOnce(ctx context.Context, method, path string, body []byte, out
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	var dsp *obs.Span
+	if e.span != nil {
+		// One child span per HTTP attempt (retries get their own), with
+		// the identity injected so the coordinator's middleware can record
+		// the server side of the same trace.
+		dsp = e.span.Child("edge:request").With("method", method).With("path", path)
+		obs.Inject(req.Header, dsp)
+	}
 	e.telRequests++
 	start := time.Now()
 	r, err := e.client().Do(req)
 	if e.telLat != nil {
 		e.telLat.Observe(time.Since(start).Seconds())
 	}
+	if err != nil {
+		dsp.With("error", true)
+	}
+	dsp.End()
 	if err != nil {
 		if isTimeout(err) {
 			mClientTimeouts.Inc()

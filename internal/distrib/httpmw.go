@@ -109,7 +109,39 @@ func (c *Coordinator) instrument(path string, h http.HandlerFunc) http.HandlerFu
 		lat.Observe(seconds)
 		mHTTPResponses.With(path + " " + statusClass(rec.status)).Inc()
 		c.stats.record(local, seconds, rec.status)
+		if sc := obs.Extract(r.Header); sc.Valid() {
+			c.recordSpan(sc, path, start, seconds, rec.status)
+		}
 	}
+}
+
+// maxCoordSpans bounds the coordinator-side trace ring; once full the
+// oldest record is overwritten, so a long-lived coordinator keeps the
+// most recent fleet activity.
+const maxCoordSpans = 512
+
+// recordSpan stores the server-side span of one traced request: the
+// caller's trace ID, the caller's span as parent, and a span ID minted
+// here — no tracer required on the coordinator.
+func (c *Coordinator) recordSpan(sc obs.SpanContext, path string, start time.Time, seconds float64, status int) {
+	rec := obs.SpanRecord{
+		Name:         "coord:" + path,
+		Start:        start.Sub(c.traceBase).Nanoseconds(),
+		Dur:          int64(seconds * 1e9),
+		TraceID:      sc.TraceID,
+		SpanID:       c.spanIDs.SpanID(),
+		ParentSpanID: sc.SpanID,
+		Attrs:        map[string]any{"status": status},
+	}
+	rec.End = rec.Start + rec.Dur
+	c.traceMu.Lock()
+	if len(c.coordSpans) < maxCoordSpans {
+		c.coordSpans = append(c.coordSpans, rec)
+	} else {
+		c.coordSpans[c.spanHead] = rec
+		c.spanHead = (c.spanHead + 1) % maxCoordSpans
+	}
+	c.traceMu.Unlock()
 }
 
 // Fleet-telemetry wire types.
@@ -123,6 +155,9 @@ type edgeTelemetryReq struct {
 	Retries  int64          `json:"retries"`
 	Timeouts int64          `json:"timeouts"`
 	Latency  *obs.QSnapshot `json:"latency,omitempty"`
+	// Spans are the run's completed client-side span records (bounded at
+	// the edge), keyed into FleetStats.Traces by trace ID.
+	Spans []obs.SpanRecord `json:"spans,omitempty"`
 }
 
 // EdgeStats is one edge's client-side view in the fleet stats.
@@ -150,6 +185,11 @@ type FleetStats struct {
 	TotalTimeouts int64                    `json:"total_timeouts"`
 	EdgeLatency   obs.QSummary             `json:"edge_latency"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	// Traces assembles the cross-process traces the coordinator knows
+	// about — client-side spans uploaded with edge telemetry merged with
+	// the coordinator's own server-side records — keyed by trace ID and
+	// sorted by start offset within each trace.
+	Traces map[string][]obs.SpanRecord `json:"traces,omitempty"`
 }
 
 // handleTelemetry stores one edge's end-of-run client telemetry (last
@@ -197,5 +237,40 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		fs.TotalTimeouts += t.Timeouts
 	}
 	fs.EdgeLatency = merged.Summary()
+	fs.Traces = c.assembleTraces(tel)
 	writeJSON(w, fs)
+}
+
+// assembleTraces merges the coordinator's server-side span records with
+// the client-side spans each edge uploaded, grouped by trace ID. Spans
+// within a trace are sorted by start offset (client and server clocks
+// have different bases, so ordering is per-process best-effort; span
+// parentage carries the authoritative structure).
+func (c *Coordinator) assembleTraces(tel []edgeTelemetryReq) map[string][]obs.SpanRecord {
+	c.traceMu.Lock()
+	coord := make([]obs.SpanRecord, len(c.coordSpans))
+	copy(coord, c.coordSpans)
+	c.traceMu.Unlock()
+
+	traces := make(map[string][]obs.SpanRecord)
+	for _, rec := range coord {
+		tid := rec.TraceID.String()
+		traces[tid] = append(traces[tid], rec)
+	}
+	for _, t := range tel {
+		for _, rec := range t.Spans {
+			if rec.TraceID.IsZero() {
+				continue
+			}
+			tid := rec.TraceID.String()
+			traces[tid] = append(traces[tid], rec)
+		}
+	}
+	for _, spans := range traces {
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	}
+	if len(traces) == 0 {
+		return nil
+	}
+	return traces
 }

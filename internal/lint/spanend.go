@@ -73,27 +73,42 @@ func (s SpanEnd) checkFunc(pass *Pass, body *ast.BlockStmt) {
 	}
 	inspectSkippingFuncLits(body, func(n ast.Node) {
 		as, ok := n.(*ast.AssignStmt)
-		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		if !ok || len(as.Rhs) != 1 {
 			return
 		}
-		id, ok := as.Lhs[0].(*ast.Ident)
-		if !ok || id.Name == "_" {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
 			return
 		}
-		if _, ok := as.Rhs[0].(*ast.CallExpr); !ok {
+		// SpanFromContext borrows the context's span — retrieval, not
+		// creation; whoever put it in the context owns its End.
+		if id := chainBaseIdent(call.Fun); id != nil && id.Name == "SpanFromContext" {
 			return
 		}
-		t := pass.TypeOf(as.Rhs[0])
-		if t == nil || !isSpanType(t.String()) {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "SpanFromContext" {
 			return
 		}
-		key := objKey(id)
-		if key == "" {
-			return
-		}
-		if _, seen := uses[key]; !seen {
-			uses[key] = &spanUse{assignPos: as.Pos()}
-			varName[key] = id.Name
+		// Any span-typed LHS of a call assignment creates ownership here —
+		// including the multi-value forms (ctx, sp := tr.StartCtx(...)),
+		// where the call's type is a tuple, so each LHS identifier is
+		// typed individually.
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil || obj.Type() == nil || !isSpanType(obj.Type().String()) {
+				continue
+			}
+			key := objKey(id)
+			if key == "" {
+				continue
+			}
+			if _, seen := uses[key]; !seen {
+				uses[key] = &spanUse{assignPos: as.Pos()}
+				varName[key] = id.Name
+			}
 		}
 	})
 	if len(uses) == 0 {
@@ -122,6 +137,18 @@ func (s SpanEnd) checkFunc(pass *Pass, body *ast.BlockStmt) {
 								u.endPos = append(u.endPos, node.Pos())
 							}
 							return true
+						}
+					}
+				}
+				if sel, ok := node.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "ContextWithSpan" {
+					// obs.ContextWithSpan(ctx, sp) stores the span in the
+					// context: ownership moves with the context, the holder
+					// ends it (typically via SpanFromContext).
+					for _, arg := range node.Args {
+						if id, ok := arg.(*ast.Ident); ok {
+							if u := uses[objKey(id)]; u != nil {
+								u.exempt = true
+							}
 						}
 					}
 				}

@@ -1,7 +1,11 @@
 // Package spanfix is a lint fixture: obs span hygiene.
 package spanfix
 
-import "repro/internal/obs"
+import (
+	"context"
+
+	"repro/internal/obs"
+)
 
 // Leak starts a span and never ends it — flagged.
 func Leak(t *obs.Tracer) {
@@ -49,4 +53,43 @@ func Closure(t *obs.Tracer) {
 	defer func() {
 		sp.End()
 	}()
+}
+
+// LeakCtx starts a context-scoped span (multi-value assignment) and
+// never ends it — flagged.
+func LeakCtx(t *obs.Tracer, ctx context.Context) context.Context {
+	ctx, sp := t.StartCtx(ctx, "leak-ctx") // want spanend
+	sp.AcquireDetail()
+	return ctx
+}
+
+// DeferredCtx ends the context-scoped span with defer — clean.
+func DeferredCtx(t *obs.Tracer, ctx context.Context) {
+	_, sp := t.StartCtx(ctx, "ok-ctx")
+	defer sp.End()
+}
+
+// BypassCtx ends the context-scoped span explicitly but an earlier
+// return can skip it — flagged at the return.
+func BypassCtx(t *obs.Tracer, ctx context.Context, fail bool) {
+	_, sp := t.StartCtx(ctx, "bypass-ctx")
+	if fail {
+		return // want spanend
+	}
+	sp.End()
+}
+
+// PackageCtx uses the package-level helper — same multi-value shape,
+// flagged when leaked.
+func PackageCtx(ctx context.Context) context.Context {
+	ctx, sp := obs.StartCtx(ctx, "pkg-ctx") // want spanend
+	sp.AcquireDetail()
+	return ctx
+}
+
+// IntoContext stores the span in a context: ownership moves with the
+// context (the holder ends it via SpanFromContext) — clean.
+func IntoContext(t *obs.Tracer, ctx context.Context) context.Context {
+	sp := t.Start("into-ctx")
+	return obs.ContextWithSpan(ctx, sp)
 }

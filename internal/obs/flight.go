@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The flight recorder is the always-on black box: a bounded, sharded
+// ring of the most recently completed spans plus discrete events
+// (config switches, drift alarms, admission rejects). Recording copies
+// a fixed-size entry into a preallocated slot under a per-shard mutex —
+// ~zero steady-state allocation — so it stays on even when tracing is
+// otherwise disabled. The ring is dumped as JSONL on drift-latch,
+// /healthz 503 transition, SIGQUIT, and on demand via /debug/flight.
+
+// FlightEntry is one ring slot: a completed span or a discrete event.
+type FlightEntry struct {
+	Seq     uint64  `json:"seq"`
+	Kind    string  `json:"kind"` // "span" or "event"
+	Name    string  `json:"name"`
+	TraceID TraceID `json:"trace_id"`
+	SpanID  SpanID  `json:"span_id"`
+	Start   int64   `json:"start_ns"`
+	Dur     int64   `json:"dur_ns"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
+// flightShard is one ring segment. The trailing pad keeps hot shards on
+// separate cache lines.
+type flightShard struct {
+	mu  sync.Mutex
+	buf []FlightEntry
+	n   uint64 // total writes; buf[(n-1)%len(buf)] is the newest entry
+	_   [64]byte
+}
+
+// FlightRecorder is a sharded ring buffer of recent spans and events.
+// All methods are goroutine-safe and nil-safe.
+type FlightRecorder struct {
+	shards []flightShard
+	seq    atomic.Uint64
+}
+
+// NewFlightRecorder builds a recorder with the given shard count and
+// per-shard capacity (defaults: 8 shards x 128 entries). Memory is
+// fully preallocated: shards*perShard fixed-size entries.
+func NewFlightRecorder(shards, perShard int) *FlightRecorder {
+	if shards <= 0 {
+		shards = 8
+	}
+	if perShard <= 0 {
+		perShard = 128
+	}
+	f := &FlightRecorder{shards: make([]flightShard, shards)}
+	for i := range f.shards {
+		f.shards[i].buf = make([]FlightEntry, perShard)
+	}
+	return f
+}
+
+// defaultFlight is the process-wide always-on recorder: every completed
+// span of every tracer and every runtime event lands here.
+var defaultFlight = NewFlightRecorder(0, 0)
+
+// Flight returns the process-wide flight recorder.
+func Flight() *FlightRecorder { return defaultFlight }
+
+func (f *FlightRecorder) record(e FlightEntry) {
+	if f == nil {
+		return
+	}
+	e.Seq = f.seq.Add(1)
+	sh := &f.shards[e.Seq%uint64(len(f.shards))]
+	sh.mu.Lock()
+	sh.buf[sh.n%uint64(len(sh.buf))] = e
+	sh.n++
+	sh.mu.Unlock()
+}
+
+// OnSpanEnd records a completed span (SpanSink; the default recorder is
+// wired into every tracer's finish path).
+func (f *FlightRecorder) OnSpanEnd(rec SpanRecord) {
+	f.record(FlightEntry{
+		Kind:    "span",
+		Name:    rec.Name,
+		TraceID: rec.TraceID,
+		SpanID:  rec.SpanID,
+		Start:   rec.Start,
+		Dur:     rec.Dur,
+	})
+}
+
+// Event records a discrete event (switch, alarm, reject). tid may be
+// zero when the event is not tied to one request.
+func (f *FlightRecorder) Event(name, detail string, tid TraceID) {
+	f.record(FlightEntry{
+		Kind:    "event",
+		Name:    name,
+		Detail:  detail,
+		TraceID: tid,
+		Start:   Now(),
+	})
+}
+
+// Entries returns a copy of the retained entries in record order
+// (ascending Seq).
+func (f *FlightRecorder) Entries() []FlightEntry {
+	if f == nil {
+		return nil
+	}
+	var out []FlightEntry
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		n := sh.n
+		if limit := uint64(len(sh.buf)); n > limit {
+			n = limit
+		}
+		for j := uint64(0); j < n; j++ {
+			out = append(out, sh.buf[j])
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Dump writes the retained entries as JSONL, oldest first.
+func (f *FlightRecorder) Dump(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range f.Entries() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the ring as an on-demand JSONL dump (/debug/flight).
+func (f *FlightRecorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		_ = f.Dump(w)
+	})
+}

@@ -91,10 +91,11 @@ func ServeMetrics(addr string, reg *Registry, tr *Tracer) (*Server, error) {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "approxtuner observability endpoint\n\n/metrics      metric snapshot (JSON; ?format=prom or a Prometheus Accept header for text exposition)\n/healthz      liveness probe\n/trace        span tree of the active tracer\n/debug/pprof  live profiling\n")
+		fmt.Fprintf(w, "approxtuner observability endpoint\n\n/metrics      metric snapshot (JSON; ?format=prom or a Prometheus Accept header for text exposition)\n/healthz      liveness probe\n/trace        span tree of the active tracer\n/debug/flight flight-recorder dump (JSONL, most recent spans + events)\n/debug/pprof  live profiling\n")
 	})
 	mux.Handle("/metrics", MetricsHandler(reg))
 	mux.Handle("/healthz", HealthzHandler())
+	mux.Handle("/debug/flight", Flight().Handler())
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		t := tr
 		if t == nil {

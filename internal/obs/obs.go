@@ -62,5 +62,5 @@ func Start(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	return t.start(0, name)
+	return t.Start(name)
 }

@@ -68,10 +68,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			pw.line(pn+"_count", "", float64(m.Count()))
 		case *QHistogram:
 			pw.typ(pn, "summary")
-			pw.summary(pn, m.Snapshot().Summary(), "")
+			pw.summary(pn, m.Snapshot(), "")
 		case *QHistVec:
 			pw.typ(pn, "summary")
-			for _, kv := range sortedSummaryLabels(m.snapshot()) {
+			for _, kv := range sortedSnapshotLabels(m.snapshots()) {
 				pw.summary(pn, kv.v, promLabel("key", kv.k))
 			}
 		}
@@ -104,20 +104,36 @@ func (p *promWriter) line(name, labels string, v float64) {
 
 // summary emits one quantile histogram as a Prometheus summary (the
 // quantile series plus _sum/_count) and a _max gauge for the tail.
-// extra, when non-empty, is prepended to each series' label set.
-func (p *promWriter) summary(name string, s QSummary, extra string) {
+// Quantile series carry an OpenMetrics exemplar when the snapshot holds
+// one near that quantile's bucket. extra, when non-empty, is prepended
+// to each series' label set.
+func (p *promWriter) summary(name string, s *QSnapshot, extra string) {
 	join := func(q string) string {
 		if extra == "" {
 			return q
 		}
 		return extra + "," + q
 	}
-	p.line(name, join(promLabel("quantile", "0.5")), s.P50)
-	p.line(name, join(promLabel("quantile", "0.9")), s.P90)
-	p.line(name, join(promLabel("quantile", "0.99")), s.P99)
-	p.line(name+"_sum", extra, s.Sum)
-	p.line(name+"_count", extra, float64(s.Count))
-	p.line(name+"_max", extra, s.Max)
+	sum := s.Summary()
+	p.quantileLine(name, join(promLabel("quantile", "0.5")), sum.P50, s, 0.50)
+	p.quantileLine(name, join(promLabel("quantile", "0.9")), sum.P90, s, 0.90)
+	p.quantileLine(name, join(promLabel("quantile", "0.99")), sum.P99, s, 0.99)
+	p.line(name+"_sum", extra, sum.Sum)
+	p.line(name+"_count", extra, float64(sum.Count))
+	p.line(name+"_max", extra, sum.Max)
+}
+
+// quantileLine is line plus an OpenMetrics exemplar suffix
+// (`# {trace_id="..."} value`) when the snapshot has an exemplar near
+// the quantile's bucket.
+func (p *promWriter) quantileLine(name, labels string, v float64, s *QSnapshot, q float64) {
+	ex, ok := s.ExemplarNear(q)
+	if !ok {
+		p.line(name, labels, v)
+		return
+	}
+	p.printf("%s{%s} %s # {trace_id=\"%s\"} %s\n",
+		name, labels, promFloat(v), ex.TraceID.String(), promFloat(ex.Value))
 }
 
 // promName maps a registry name onto the Prometheus metric charset.
@@ -197,6 +213,20 @@ func sortedSummaryLabels(m map[string]QSummary) []labelSummary {
 	out := make([]labelSummary, 0, len(m))
 	for k, v := range m {
 		out = append(out, labelSummary{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}
+
+type labelSnapshot struct {
+	k string
+	v *QSnapshot
+}
+
+func sortedSnapshotLabels(m map[string]*QSnapshot) []labelSnapshot {
+	out := make([]labelSnapshot, 0, len(m))
+	for k, v := range m {
+		out = append(out, labelSnapshot{k, v})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
 	return out

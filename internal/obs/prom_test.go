@@ -32,7 +32,14 @@ func promTestRegistry() *Registry {
 	// exposition is bit-identical no matter how the observations split
 	// across the histogram's per-P shards.
 	q := reg.QHistogram("runtime.invocation_seconds")
+	exTID, _ := ParseTraceID("4bf92f3577b34da6a3ce929d0e0e4736")
 	for i := 1; i <= 100; i++ {
+		if i == 50 {
+			// One exemplar in the p50 bucket: same counts as a plain
+			// Observe, plus an OpenMetrics exemplar on the quantile line.
+			q.ObserveExemplar(float64(i)/1024, exTID)
+			continue
+		}
 		q.Observe(float64(i) / 1024)
 	}
 	qv := reg.QHistVec("distrib.http_latency_seconds")
@@ -57,12 +64,20 @@ func TestWritePrometheusGolden(t *testing.T) {
 	if buf.String() != string(want) {
 		t.Errorf("prometheus exposition drifted from testdata/prom.golden:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
 	}
+	// The golden — exemplar line included — must also pass the line
+	// validator, so the exemplar syntax stays within the grammar scrapers
+	// accept.
+	checkPromFormat(t, buf.String())
 }
 
 // promLineRe matches one valid Prometheus text-format sample or comment
-// line (the subset the writer emits).
+// line (the subset the writer emits), including an optional OpenMetrics
+// exemplar suffix (`# {trace_id="..."} value`) on sample lines.
+const promValuePat = `(-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)`
+
 var promLineRe = regexp.MustCompile(`^(# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* .+` +
-	`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN))$`)
+	`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? ` +
+	promValuePat + `( # \{trace_id="[0-9a-f]{32}"\} ` + promValuePat + `)?)$`)
 
 // checkPromFormat validates every non-empty line of a text exposition.
 func checkPromFormat(t *testing.T, text string) {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -29,7 +30,21 @@ type QHistogram struct {
 	mu     sync.Mutex // guards shard-list growth only
 	shards atomic.Pointer[[]*qshard]
 	pool   sync.Pool
+	// ex holds one exemplar per bucket (lazily allocated on the first
+	// ObserveExemplar, so plain histograms pay nothing for the feature).
+	ex atomic.Pointer[exemplarSlots]
 }
+
+// Exemplar ties one observed value to the trace that produced it
+// (OpenMetrics exemplars), so a latency quantile links directly to a
+// kept trace in the flight recorder or tail sampler.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID TraceID `json:"trace_id"`
+}
+
+// exemplarSlots stores the latest exemplar per bucket.
+type exemplarSlots [qhistNBuckets]atomic.Pointer[Exemplar]
 
 const (
 	qhistSubBits = 4 // 16 linear sub-buckets per octave
@@ -145,6 +160,24 @@ func (h *QHistogram) Observe(v float64) {
 	h.pool.Put(s)
 }
 
+// ObserveExemplar records one value and stores it as the exemplar of
+// its bucket, tagged with the trace that produced it. A zero trace ID
+// degrades to a plain Observe.
+func (h *QHistogram) ObserveExemplar(v float64, tid TraceID) {
+	h.Observe(v)
+	if tid.IsZero() {
+		return
+	}
+	slots := h.ex.Load()
+	if slots == nil {
+		slots = &exemplarSlots{}
+		if !h.ex.CompareAndSwap(nil, slots) {
+			slots = h.ex.Load()
+		}
+	}
+	slots[qhistIndex(v)].Store(&Exemplar{Value: v, TraceID: tid})
+}
+
 // Count returns the total number of observations.
 func (h *QHistogram) Count() int64 {
 	var n int64
@@ -167,18 +200,30 @@ func (h *QHistogram) Snapshot() *QSnapshot {
 			snap.counts[i] += s.buckets[i].Load()
 		}
 	}
+	if slots := h.ex.Load(); slots != nil {
+		for i := range slots {
+			if e := slots[i].Load(); e != nil {
+				if snap.exemplars == nil {
+					snap.exemplars = make(map[int]Exemplar)
+				}
+				snap.exemplars[i] = *e
+			}
+		}
+	}
 	return snap
 }
 
 // QSnapshot is a merged, immutable view of one or more QHistograms.
 type QSnapshot struct {
-	counts [qhistNBuckets]int64
-	count  int64
-	sum    float64
-	max    float64
+	counts    [qhistNBuckets]int64
+	count     int64
+	sum       float64
+	max       float64
+	exemplars map[int]Exemplar // bucket index → latest exemplar
 }
 
 // Merge folds another snapshot into this one (fleet aggregation).
+// Exemplars are adopted for buckets that have none yet.
 func (s *QSnapshot) Merge(o *QSnapshot) {
 	if o == nil {
 		return
@@ -191,16 +236,47 @@ func (s *QSnapshot) Merge(o *QSnapshot) {
 	for i := range s.counts {
 		s.counts[i] += o.counts[i]
 	}
+	for i, e := range o.exemplars {
+		if _, ok := s.exemplars[i]; !ok {
+			if s.exemplars == nil {
+				s.exemplars = make(map[int]Exemplar)
+			}
+			s.exemplars[i] = e
+		}
+	}
+}
+
+// ExemplarNear returns an exemplar representative of the q-quantile: the
+// exemplar of the bucket holding the quantile's rank, or the nearest
+// bucket (within one octave) that has one. ok is false when no exemplar
+// is close enough.
+func (s *QSnapshot) ExemplarNear(q float64) (Exemplar, bool) {
+	if len(s.exemplars) == 0 || s.count == 0 {
+		return Exemplar{}, false
+	}
+	target := qhistIndex(s.Quantile(q))
+	for d := 0; d <= qhistSub; d++ {
+		if e, ok := s.exemplars[target+d]; ok {
+			return e, true
+		}
+		if d > 0 {
+			if e, ok := s.exemplars[target-d]; ok {
+				return e, true
+			}
+		}
+	}
+	return Exemplar{}, false
 }
 
 // qsnapshotJSON is the wire form of a QSnapshot: the bucket array is
 // sparse-encoded (index → count) since latency distributions touch only
 // a handful of the 1026 buckets.
 type qsnapshotJSON struct {
-	Counts map[string]int64 `json:"counts,omitempty"`
-	Count  int64            `json:"count"`
-	Sum    float64          `json:"sum"`
-	Max    float64          `json:"max"`
+	Counts    map[string]int64    `json:"counts,omitempty"`
+	Count     int64               `json:"count"`
+	Sum       float64             `json:"sum"`
+	Max       float64             `json:"max"`
+	Exemplars map[string]Exemplar `json:"exemplars,omitempty"`
 }
 
 // MarshalJSON encodes the snapshot for shipping (e.g. per-edge telemetry
@@ -215,6 +291,12 @@ func (s *QSnapshot) MarshalJSON() ([]byte, error) {
 			}
 			j.Counts[strconv.Itoa(i)] = n
 		}
+	}
+	for i, e := range s.exemplars {
+		if j.Exemplars == nil {
+			j.Exemplars = make(map[string]Exemplar)
+		}
+		j.Exemplars[strconv.Itoa(i)] = e
 	}
 	return json.Marshal(j)
 }
@@ -240,6 +322,19 @@ func (s *QSnapshot) UnmarshalJSON(data []byte) error {
 			i = qhistNBuckets - 1
 		}
 		s.counts[i] += n
+	}
+	for k, e := range j.Exemplars {
+		i, err := strconv.Atoi(k)
+		if err != nil || i < 0 {
+			return fmt.Errorf("obs: bad qsnapshot exemplar index %q", k)
+		}
+		if i >= qhistNBuckets {
+			i = qhistNBuckets - 1
+		}
+		if s.exemplars == nil {
+			s.exemplars = make(map[int]Exemplar)
+		}
+		s.exemplars[i] = e
 	}
 	return nil
 }
@@ -320,11 +415,21 @@ type QSummary struct {
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
+	// Exemplars are the per-bucket trace-linked observations, ordered by
+	// bucket upper bound (omitted when none were recorded).
+	Exemplars []BucketExemplar `json:"exemplars,omitempty"`
+}
+
+// BucketExemplar is one exported exemplar with its bucket upper bound.
+type BucketExemplar struct {
+	LE      float64 `json:"le"`
+	Value   float64 `json:"value"`
+	TraceID TraceID `json:"trace_id"`
 }
 
 // Summary condenses the snapshot into its exported form.
 func (s *QSnapshot) Summary() QSummary {
-	return QSummary{
+	sum := QSummary{
 		Count: s.count,
 		Sum:   s.sum,
 		Max:   s.Max(),
@@ -332,6 +437,22 @@ func (s *QSnapshot) Summary() QSummary {
 		P90:   s.P90(),
 		P99:   s.P99(),
 	}
+	if len(s.exemplars) > 0 {
+		idx := make([]int, 0, len(s.exemplars))
+		for i := range s.exemplars {
+			idx = append(idx, i)
+		}
+		sort.Ints(idx)
+		for _, i := range idx {
+			e := s.exemplars[i]
+			sum.Exemplars = append(sum.Exemplars, BucketExemplar{
+				LE:      qhistUpper(i),
+				Value:   e.Value,
+				TraceID: e.TraceID,
+			})
+		}
+	}
+	return sum
 }
 
 // QHistogram returns (creating if needed) the named quantile histogram.
@@ -375,6 +496,18 @@ func (v *QHistVec) snapshot() map[string]QSummary {
 	out := make(map[string]QSummary, len(v.m))
 	for k, h := range v.m {
 		out[k] = h.Snapshot().Summary()
+	}
+	return out
+}
+
+// snapshots is the exemplar-preserving form of snapshot, for the
+// Prometheus exposition.
+func (v *QHistVec) snapshots() map[string]*QSnapshot {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]*QSnapshot, len(v.m))
+	for k, h := range v.m {
+		out[k] = h.Snapshot()
 	}
 	return out
 }

@@ -8,6 +8,13 @@ import (
 	"sync/atomic"
 )
 
+// SpanSink receives every completed span record. Sinks run outside the
+// tracer's lock, after the record is retained/exported; they must be
+// goroutine-safe. The tail sampler is a sink.
+type SpanSink interface {
+	OnSpanEnd(SpanRecord)
+}
+
 // TracerOptions configures a Tracer.
 type TracerOptions struct {
 	// Writer, when non-nil, receives one JSON line per completed span
@@ -15,13 +22,20 @@ type TracerOptions struct {
 	Writer io.Writer
 	// KeepInMemory bounds the number of completed spans retained for
 	// Records/Summarize (default 4096; 0 takes the default, negative
-	// disables retention).
+	// disables retention). Retention is a ring: when full, the oldest
+	// record is overwritten, so a long run keeps the most recent spans.
 	KeepInMemory int
 	// GraphExecDetail is how many graph executions record per-node child
 	// spans before the tracer degrades to one span per execution
 	// (default 16). Tuning runs execute the graph thousands of times;
 	// the budget keeps traces readable and bounded.
 	GraphExecDetail int
+	// IDSeed seeds trace/span ID generation (splitmix64 sequence). Zero
+	// derives a seed from the process start time; fix it for
+	// reproducible IDs in tests and smoke runs.
+	IDSeed int64
+	// Sinks receive every completed span record (e.g. a TailSampler).
+	Sinks []SpanSink
 }
 
 // Tracer records hierarchical spans. All methods are goroutine-safe.
@@ -29,7 +43,10 @@ type Tracer struct {
 	mu      sync.Mutex
 	w       io.Writer
 	records []SpanRecord
+	head    int // ring start: records[head] is the oldest retained span
 	keep    int
+	ids     *IDSource
+	sinks   []SpanSink
 
 	nextID       atomic.Int64
 	detailBudget atomic.Int64
@@ -48,27 +65,45 @@ func NewTracer(o TracerOptions) *Tracer {
 	if o.GraphExecDetail == 0 {
 		o.GraphExecDetail = 16
 	}
-	t := &Tracer{w: o.Writer, keep: o.KeepInMemory, epoch: Now()}
+	if o.IDSeed == 0 {
+		o.IDSeed = clockBase.UnixNano()
+	}
+	t := &Tracer{
+		w:     o.Writer,
+		keep:  o.KeepInMemory,
+		ids:   NewIDSource(o.IDSeed),
+		sinks: o.Sinks,
+		epoch: Now(),
+	}
 	t.detailBudget.Store(int64(o.GraphExecDetail))
 	return t
 }
 
-// Start opens a root span on this tracer.
+// Start opens a root span (fresh trace ID) on this tracer.
 func (t *Tracer) Start(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	return t.start(0, name)
+	return t.newSpan(name, 0, TraceID{}, SpanID{})
 }
 
-func (t *Tracer) start(parent int64, name string) *Span {
+// newSpan is the single span constructor: a zero trace ID mints a fresh
+// trace (root span); a non-zero one continues it with parentSID as the
+// parent span (local child or remote continuation).
+func (t *Tracer) newSpan(name string, parent int64, trace TraceID, parentSID SpanID) *Span {
 	t.started.Add(1)
+	if trace.IsZero() {
+		trace = t.ids.TraceID()
+	}
 	return &Span{
 		tr:     t,
 		id:     t.nextID.Add(1),
 		parent: parent,
 		name:   name,
 		start:  Now() - t.epoch,
+		trace:  trace,
+		sid:    t.ids.SpanID(),
+		psid:   parentSID,
 	}
 }
 
@@ -81,8 +116,7 @@ func (t *Tracer) AcquireDetail() bool {
 	return t.detailBudget.Add(-1) >= 0
 }
 
-// Records returns a copy of the retained completed spans, in completion
-// order.
+// Records returns a copy of the retained completed spans, oldest first.
 func (t *Tracer) Records() []SpanRecord {
 	if t == nil {
 		return nil
@@ -90,12 +124,13 @@ func (t *Tracer) Records() []SpanRecord {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]SpanRecord, len(t.records))
-	copy(out, t.records)
+	n := copy(out, t.records[t.head:])
+	copy(out[n:], t.records[:t.head])
 	return out
 }
 
-// Dropped returns how many completed spans were discarded because the
-// in-memory retention limit was reached.
+// Dropped returns how many completed spans have been overwritten because
+// the in-memory retention ring was full.
 func (t *Tracer) Dropped() int64 {
 	if t == nil {
 		return 0
@@ -115,11 +150,14 @@ func (t *Tracer) Err() error {
 
 func (t *Tracer) finish(rec SpanRecord) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.keep > 0 {
 		if len(t.records) < t.keep {
 			t.records = append(t.records, rec)
 		} else {
+			// Ring: overwrite the oldest so a long-lived server retains
+			// the most recent spans, not the first few thousand from boot.
+			t.records[t.head] = rec
+			t.head = (t.head + 1) % t.keep
 			t.dropped.Add(1)
 		}
 	}
@@ -133,6 +171,13 @@ func (t *Tracer) finish(rec SpanRecord) {
 			t.writeErr = err
 		}
 	}
+	t.mu.Unlock()
+	// Sinks and the always-on flight recorder run outside the tracer
+	// lock: a sink may take its own locks or call back into obs.
+	defaultFlight.OnSpanEnd(rec)
+	for _, s := range t.sinks {
+		s.OnSpanEnd(rec)
+	}
 }
 
 // Span is one timed, attributed, nestable region of work. A nil *Span is
@@ -143,18 +188,23 @@ type Span struct {
 	parent int64
 	name   string
 	start  int64
+	trace  TraceID
+	sid    SpanID
+	psid   SpanID
 	attrs  map[string]any
+	links  []TraceID
 	mu     sync.Mutex
 	ended  bool
 	dur    int64
 }
 
-// Child opens a sub-span. On a nil span it returns nil.
+// Child opens a sub-span sharing s's trace ID. On a nil span it returns
+// nil.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.tr.start(s.id, name)
+	return s.tr.newSpan(name, s.id, s.trace, s.sid)
 }
 
 // With attaches an attribute and returns the span for chaining. No-op on
@@ -170,6 +220,35 @@ func (s *Span) With(key string, val any) *Span {
 	s.attrs[key] = val
 	s.mu.Unlock()
 	return s
+}
+
+// Link attaches another trace's ID to this span (OTel-style span link).
+// A coalesced batch span links every member request's trace, tying the
+// shared execution back to each caller. No-op on nil spans or zero IDs.
+func (s *Span) Link(tid TraceID) *Span {
+	if s == nil || tid.IsZero() {
+		return s
+	}
+	s.mu.Lock()
+	s.links = append(s.links, tid)
+	s.mu.Unlock()
+	return s
+}
+
+// Context returns the span's propagable identity (zero on nil spans).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.trace, SpanID: s.sid}
+}
+
+// TraceID returns the span's trace ID (zero on nil spans).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.trace
 }
 
 // AcquireDetail consumes one unit of the tracer's graph-detail budget
@@ -202,15 +281,24 @@ func (s *Span) End() {
 			attrs[k] = v
 		}
 	}
+	var links []TraceID
+	if len(s.links) > 0 {
+		links = make([]TraceID, len(s.links))
+		copy(links, s.links)
+	}
 	s.mu.Unlock()
 	s.tr.finish(SpanRecord{
-		ID:     s.id,
-		Parent: s.parent,
-		Name:   s.name,
-		Start:  s.start,
-		End:    end,
-		Dur:    s.dur,
-		Attrs:  attrs,
+		ID:           s.id,
+		Parent:       s.parent,
+		Name:         s.name,
+		Start:        s.start,
+		End:          end,
+		Dur:          s.dur,
+		TraceID:      s.trace,
+		SpanID:       s.sid,
+		ParentSpanID: s.psid,
+		Links:        links,
+		Attrs:        attrs,
 	})
 }
 
@@ -237,15 +325,22 @@ func (s *Span) Name() string {
 }
 
 // SpanRecord is the exported form of a completed span. Start/End/Dur are
-// nanoseconds relative to the tracer's creation.
+// nanoseconds relative to the tracer's creation. ID/Parent are the
+// process-local int64 tree used by BuildTree; TraceID/SpanID/
+// ParentSpanID are the propagable identity (hex in JSON) used to stitch
+// cross-process traces.
 type SpanRecord struct {
-	ID     int64          `json:"id"`
-	Parent int64          `json:"parent,omitempty"`
-	Name   string         `json:"name"`
-	Start  int64          `json:"start_ns"`
-	End    int64          `json:"end_ns"`
-	Dur    int64          `json:"dur_ns"`
-	Attrs  map[string]any `json:"attrs,omitempty"`
+	ID           int64          `json:"id"`
+	Parent       int64          `json:"parent,omitempty"`
+	Name         string         `json:"name"`
+	Start        int64          `json:"start_ns"`
+	End          int64          `json:"end_ns"`
+	Dur          int64          `json:"dur_ns"`
+	TraceID      TraceID        `json:"trace_id"`
+	SpanID       SpanID         `json:"span_id"`
+	ParentSpanID SpanID         `json:"parent_span_id"`
+	Links        []TraceID      `json:"links,omitempty"`
+	Attrs        map[string]any `json:"attrs,omitempty"`
 }
 
 func (r SpanRecord) String() string {

@@ -1,0 +1,402 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTracerRetentionKeepsMostRecent pins the ring semantics of the
+// in-memory span store: when more spans complete than KeepInMemory, the
+// retained set is the most recent N in completion order — not the first
+// N — so a long-lived server's /trace always shows current activity.
+func TestTracerRetentionKeepsMostRecent(t *testing.T) {
+	tr := NewTracer(TracerOptions{KeepInMemory: 3})
+	for i := 0; i < 10; i++ {
+		tr.Start(fmt.Sprintf("span-%d", i)).End()
+	}
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("retained %d, want 3", len(recs))
+	}
+	for i, want := range []string{"span-7", "span-8", "span-9"} {
+		if recs[i].Name != want {
+			t.Errorf("records[%d] = %q, want %q (ring must keep the newest, oldest first)", i, recs[i].Name, want)
+		}
+	}
+	if tr.Dropped() != 7 {
+		t.Errorf("dropped = %d, want 7", tr.Dropped())
+	}
+}
+
+// TestTraceparentRoundTrip pins the W3C traceparent wire format through
+// format → parse → inject → extract.
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid, ok := ParseTraceID("4bf92f3577b34da6a3ce929d0e0e4736")
+	if !ok {
+		t.Fatal("ParseTraceID rejected valid ID")
+	}
+	sid, ok := ParseSpanID("00f067aa0ba902b7")
+	if !ok {
+		t.Fatal("ParseSpanID rejected valid ID")
+	}
+	sc := SpanContext{TraceID: tid, SpanID: sid}
+	hdr := FormatTraceparent(sc)
+	if hdr != "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01" {
+		t.Fatalf("FormatTraceparent = %q", hdr)
+	}
+	got, ok := ParseTraceparent(hdr)
+	if !ok {
+		t.Fatal("ParseTraceparent rejected its own format")
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v, want %+v", got, sc)
+	}
+
+	h := http.Header{}
+	h.Set(TraceparentHeader, hdr)
+	if ex := Extract(h); ex != sc {
+		t.Fatalf("Extract = %+v, want %+v", ex, sc)
+	}
+
+	for _, bad := range []string{
+		"",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // missing flags
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span
+		"0g-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // bad hex
+	} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent(%q) accepted, want rejection", bad)
+		}
+	}
+}
+
+// TestStartCtxPropagation checks the context plumbing: StartCtx creates
+// a child of the context's span (same trace) and ContextWithSpan /
+// SpanFromContext round-trip.
+func TestStartCtxPropagation(t *testing.T) {
+	tr := NewTracer(TracerOptions{KeepInMemory: 16, IDSeed: 5})
+	ctx, root := tr.StartCtx(context.Background(), "root")
+	if SpanFromContext(ctx) != root {
+		t.Fatal("StartCtx did not store the span in the context")
+	}
+	ctx2, child := tr.StartCtx(ctx, "child")
+	if child.TraceID() != root.TraceID() {
+		t.Errorf("child trace %s != root trace %s", child.TraceID(), root.TraceID())
+	}
+	if SpanFromContext(ctx2) != child {
+		t.Error("nested StartCtx did not replace the context span")
+	}
+	child.End()
+	root.End()
+
+	recs := tr.Records()
+	if len(recs) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(recs))
+	}
+	// child completed first; its parent span ID must be root's.
+	if recs[0].ParentSpanID != recs[1].SpanID {
+		t.Errorf("child parent span %s != root span %s", recs[0].ParentSpanID, recs[1].SpanID)
+	}
+
+	// Disabled tracing: package helper returns a nil span and the
+	// unchanged context.
+	prev := Install(NewTracer(TracerOptions{}))
+	Install(prev)
+	ctx3, sp := StartCtx(context.Background(), "noop")
+	if Active() == nil {
+		if sp != nil || ctx3 != context.Background() {
+			t.Error("disabled StartCtx must be a no-op")
+		}
+	}
+	sp.End()
+}
+
+// TestIDSourceDeterministic pins the seeded identity stream: the same
+// seed yields the same trace/span IDs, different seeds diverge, and no
+// ID is ever zero.
+func TestIDSourceDeterministic(t *testing.T) {
+	a, b := NewIDSource(42), NewIDSource(42)
+	for i := 0; i < 100; i++ {
+		ta, tb := a.TraceID(), b.TraceID()
+		if ta != tb {
+			t.Fatalf("seed-42 streams diverge at %d: %s vs %s", i, ta, tb)
+		}
+		if ta.IsZero() {
+			t.Fatal("zero trace ID minted")
+		}
+		sa, sb := a.SpanID(), b.SpanID()
+		if sa != sb {
+			t.Fatalf("span streams diverge at %d", i)
+		}
+		if sa.IsZero() {
+			t.Fatal("zero span ID minted")
+		}
+	}
+	c := NewIDSource(43)
+	if a0, c0 := NewIDSource(42).TraceID(), c.TraceID(); a0 == c0 {
+		t.Error("different seeds produced identical first trace IDs")
+	}
+}
+
+// TestFlightRecorderConcurrent hammers one recorder with concurrent
+// span/event writes while dumping it — the CI race gate runs this under
+// -race. Every dumped line must be valid JSON and entry sequence
+// numbers must be unique.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	fr := NewFlightRecorder(4, 64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if i%2 == 0 {
+					fr.Event(fmt.Sprintf("event-%d", w), "detail", TraceID{})
+				} else {
+					fr.OnSpanEnd(SpanRecord{Name: fmt.Sprintf("span-%d", w)})
+				}
+			}
+		}(w)
+	}
+	for d := 0; d < 20; d++ {
+		var buf bytes.Buffer
+		if err := fr.Dump(&buf); err != nil {
+			t.Fatalf("dump %d: %v", d, err)
+		}
+		seen := make(map[uint64]bool)
+		for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+			if line == "" {
+				continue
+			}
+			var e FlightEntry
+			if err := json.Unmarshal([]byte(line), &e); err != nil {
+				t.Fatalf("dump %d: bad JSONL line %q: %v", d, line, err)
+			}
+			if seen[e.Seq] {
+				t.Fatalf("dump %d: duplicate seq %d", d, e.Seq)
+			}
+			seen[e.Seq] = true
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestFlightRecorderRetainsRecent checks the per-shard rings keep the
+// most recent entries once full.
+func TestFlightRecorderRetainsRecent(t *testing.T) {
+	fr := NewFlightRecorder(1, 8)
+	for i := 0; i < 100; i++ {
+		fr.Event(fmt.Sprintf("e%d", i), "", TraceID{})
+	}
+	entries := fr.Entries()
+	if len(entries) != 8 {
+		t.Fatalf("retained %d entries, want 8", len(entries))
+	}
+	for i, e := range entries {
+		if want := fmt.Sprintf("e%d", 92+i); e.Name != want {
+			t.Errorf("entries[%d] = %q, want %q", i, e.Name, want)
+		}
+	}
+}
+
+// sampleTrace pushes one synthetic single-span trace through a sampler
+// and finishes it with the given verdict.
+func sampleTrace(ts *TailSampler, ids *IDSource, v Verdict) (TraceID, bool, string) {
+	tid := ids.TraceID()
+	ts.OnSpanEnd(SpanRecord{Name: "req", TraceID: tid, SpanID: ids.SpanID()})
+	kept, reason := ts.Finish(tid, v)
+	return tid, kept, reason
+}
+
+// TestTailSamplerReasons pins the keep-reason precedence and the floor.
+func TestTailSamplerReasons(t *testing.T) {
+	ts := NewTailSampler(TailSamplerOptions{Seed: 3, Floor: -1})
+	ids := NewIDSource(7)
+	cases := []struct {
+		v      Verdict
+		kept   bool
+		reason string
+	}{
+		{Verdict{Errored: true, Slow: true, Eventful: true}, true, "error"},
+		{Verdict{Slow: true, Eventful: true}, true, "slow"},
+		{Verdict{Eventful: true}, true, "event"},
+		{Verdict{}, false, ""},
+	}
+	for _, c := range cases {
+		_, kept, reason := sampleTrace(ts, ids, c.v)
+		if kept != c.kept || reason != c.reason {
+			t.Errorf("verdict %+v: kept=%v reason=%q, want kept=%v reason=%q", c.v, kept, reason, c.kept, c.reason)
+		}
+	}
+
+	// Floor=1 keeps everything uninteresting with reason "floor".
+	all := NewTailSampler(TailSamplerOptions{Seed: 3, Floor: 1})
+	if _, kept, reason := sampleTrace(all, ids, Verdict{}); !kept || reason != "floor" {
+		t.Errorf("Floor=1: kept=%v reason=%q, want floor keep", kept, reason)
+	}
+}
+
+// samplerRun drives a fixed workload through a fresh seeded sampler and
+// returns the kept trace IDs in decision order.
+func samplerRun(seed int64) []string {
+	ts := NewTailSampler(TailSamplerOptions{Seed: seed, Floor: 0.25, Keep: 1024})
+	ids := NewIDSource(99)
+	var kept []string
+	for i := 0; i < 400; i++ {
+		tid, ok, _ := sampleTrace(ts, ids, Verdict{})
+		if ok {
+			kept = append(kept, tid.String())
+		}
+	}
+	return kept
+}
+
+// TestTailSamplerDeterministicAcrossGOMAXPROCS pins floor-sampling
+// reproducibility: same seed, same trace IDs → bit-identical kept set,
+// independent of scheduler parallelism.
+func TestTailSamplerDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(1)
+	kept1 := samplerRun(11)
+	runtime.GOMAXPROCS(8)
+	kept8 := samplerRun(11)
+
+	if len(kept1) == 0 {
+		t.Fatal("floor=0.25 kept nothing across 400 traces; determinism check is vacuous")
+	}
+	if len(kept1) != len(kept8) {
+		t.Fatalf("kept %d at GOMAXPROCS=1 but %d at 8", len(kept1), len(kept8))
+	}
+	for i := range kept1 {
+		if kept1[i] != kept8[i] {
+			t.Fatalf("kept[%d] differs: %s vs %s", i, kept1[i], kept8[i])
+		}
+	}
+	// And a different seed must produce a different kept set.
+	if other := samplerRun(12); len(other) == len(kept1) {
+		same := true
+		for i := range other {
+			if other[i] != kept1[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("seeds 11 and 12 kept identical sets; floor is not seed-driven")
+		}
+	}
+}
+
+// TestTailSamplerLinkCopiesSubtree checks the batch-linking contract: a
+// span that Links another trace donates its buffered subtree to the
+// linked trace, so the member's kept trace includes the shared spans.
+func TestTailSamplerLinkCopiesSubtree(t *testing.T) {
+	ts := NewTailSampler(TailSamplerOptions{Seed: 1, Floor: -1})
+	ids := NewIDSource(3)
+	member := ids.TraceID()
+	batch := ids.TraceID()
+
+	ts.OnSpanEnd(SpanRecord{Name: "member:request", TraceID: member, SpanID: ids.SpanID()})
+	ts.OnSpanEnd(SpanRecord{Name: "batch:execute", TraceID: batch, SpanID: ids.SpanID()})
+	ts.OnSpanEnd(SpanRecord{Name: "batch:root", TraceID: batch, SpanID: ids.SpanID(), Links: []TraceID{member}})
+
+	kept, reason := ts.Finish(member, Verdict{Slow: true})
+	if !kept || reason != "slow" {
+		t.Fatalf("Finish: kept=%v reason=%q", kept, reason)
+	}
+	traces := ts.Kept()
+	if len(traces) != 1 {
+		t.Fatalf("kept %d traces, want 1", len(traces))
+	}
+	names := make(map[string]bool)
+	for _, sp := range traces[0].Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"member:request", "batch:execute", "batch:root"} {
+		if !names[want] {
+			t.Errorf("kept trace missing %q (have %v)", want, names)
+		}
+	}
+}
+
+// TestTailSamplerBoundedPending checks eviction: undecided traces
+// beyond MaxPending are dropped oldest-first and counted.
+func TestTailSamplerBoundedPending(t *testing.T) {
+	ts := NewTailSampler(TailSamplerOptions{Seed: 1, Floor: -1, MaxPending: 8})
+	ids := NewIDSource(5)
+	tids := make([]TraceID, 20)
+	for i := range tids {
+		tids[i] = ids.TraceID()
+		ts.OnSpanEnd(SpanRecord{Name: "s", TraceID: tids[i], SpanID: ids.SpanID()})
+	}
+	_, _, evicted := ts.Stats()
+	if evicted != 12 {
+		t.Errorf("evicted = %d, want 12", evicted)
+	}
+	// An evicted trace finishes with no spans: decision still works, but
+	// a keep would be empty — the sampler must not keep what it no longer
+	// buffers unless the verdict demands it.
+	kept, _ := ts.Finish(tids[0], Verdict{})
+	if kept {
+		t.Error("uninteresting evicted trace kept with floor disabled")
+	}
+}
+
+// TestExemplarJSONRoundTrip pins exemplar persistence through the
+// QSnapshot JSON codec.
+func TestExemplarJSONRoundTrip(t *testing.T) {
+	h := NewQHist()
+	tid, ok := ParseTraceID("0af7651916cd43dd8448eb211c80319c")
+	if !ok {
+		t.Fatal("ParseTraceID rejected valid ID")
+	}
+	for i := 1; i <= 64; i++ {
+		h.Observe(float64(i) / 128)
+	}
+	h.ObserveExemplar(0.25, tid)
+	snap := h.Snapshot()
+
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back QSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	ex, found := back.ExemplarNear(0.5)
+	if !found {
+		t.Fatal("decoded snapshot lost the exemplar")
+	}
+	if ex.TraceID != tid {
+		t.Errorf("exemplar trace = %s, want %s", ex.TraceID, tid)
+	}
+	if math.Float64bits(ex.Value) != math.Float64bits(0.25) {
+		t.Errorf("exemplar value = %v, want 0.25", ex.Value)
+	}
+	sum := back.Summary()
+	if len(sum.Exemplars) == 0 {
+		t.Fatal("summary carries no exemplars")
+	}
+	if sum.Exemplars[0].TraceID != tid {
+		t.Errorf("summary exemplar trace = %s, want %s", sum.Exemplars[0].TraceID, tid)
+	}
+}

@@ -53,6 +53,9 @@ type pending struct {
 	ctx   context.Context
 	enq   time.Time
 	res   chan result // buffered(1); the batcher sends exactly once
+	// sc is the request span's identity (zero when tracing is off); the
+	// batch span links each member's trace through it.
+	sc obs.SpanContext
 }
 
 // result is the batcher's answer to one pending request.
@@ -155,6 +158,9 @@ func (s *Server) collect(first *pending) []*pending {
 
 // runBatch executes one coalesced batch under the configuration the
 // tuner currently selects and answers every request in it exactly once.
+// The fan-out happens after executeBatch has ended the batch span, so a
+// member's completion-time sampling decision always sees the full batch
+// subtree in its buffered trace.
 func (s *Server) runBatch(reqs []*pending) {
 	start := time.Now()
 	// Expire requests whose deadline passed while queued: executing
@@ -170,6 +176,34 @@ func (s *Server) runBatch(reqs []*pending) {
 	if len(live) == 0 {
 		return
 	}
+	parts, shared, err := s.executeBatch(live, start)
+	if err != nil {
+		s.fail(live, err)
+		return
+	}
+	for i, p := range live {
+		wait := start.Sub(p.enq)
+		qQueueWait.Observe(wait.Seconds())
+		res := shared
+		res.out = parts[i]
+		res.queueWait = wait
+		p.res <- res
+	}
+}
+
+// executeBatch runs one coalesced batch and returns the per-request
+// output parts plus the shared result fields. When tracing is enabled
+// it wraps the work in a serve:batch span that links every member
+// request's trace, with serve:execute and serve:tuner children.
+func (s *Server) executeBatch(live []*pending, start time.Time) ([]*tensor.Tensor, result, error) {
+	var bsp *obs.Span
+	if tr := s.cfg.Tracer; tr != nil {
+		bsp = tr.Start("serve:batch")
+		for _, p := range live {
+			bsp.Link(p.sc.TraceID)
+		}
+	}
+	defer bsp.End()
 
 	pt, idx := s.tuner.Acquire()
 	inputs := make([]*tensor.Tensor, len(live))
@@ -180,15 +214,21 @@ func (s *Server) runBatch(reqs []*pending) {
 	}
 	batch, sizes, err := graph.ConcatBatch(inputs)
 	if err != nil {
-		s.fail(live, err)
-		return
+		return nil, result{}, err
 	}
-	out, err := s.execute(batch, pt.Config)
-	wall := time.Since(start)
+	esp := bsp.Child("serve:execute")
+	out, err := s.execute(batch, pt.Config, esp)
+	esp.End()
 	if err != nil {
-		s.fail(live, err)
-		return
+		return nil, result{}, err
 	}
+	if f := s.cfg.SlowdownFactor; f > 1 && s.stats.batches.Load() >= int64(s.cfg.SlowdownAfter) {
+		// Injected slowdown (smoke/chaos hook): stretch the batch's wall
+		// time so request latency and the drift detector both see a
+		// genuinely slower machine.
+		time.Sleep(time.Duration(float64(time.Since(start)) * (f - 1)))
+	}
+	wall := time.Since(start)
 	// One batch execution is one tuner invocation: the measured latency
 	// is attributed to the curve index acquired above, so a sample can
 	// never be credited to a configuration that did not produce it —
@@ -204,21 +244,33 @@ func (s *Server) runBatch(reqs []*pending) {
 	// slowdown shows the same ratio at any occupancy. At full batches
 	// the factor is 1, so the loaded-system control signal is unchanged.
 	normExec := exec * float64(s.cfg.MaxBatch) / float64(items)
+	tsp := bsp.Child("serve:tuner")
 	s.tuner.RecordInvocationAt(idx, normExec)
+	recal := s.tuner.RecalibrationNeeded()
+	tsp.End()
 
 	parts, err := graph.SplitBatch(out, sizes)
 	if err != nil {
-		s.fail(live, err)
-		return
+		return nil, result{}, err
 	}
 
+	label := configLabel(pt.Config)
+	bsp.With("config", label).With("items", items)
 	s.stats.batches.Add(1)
 	mBatches.Inc()
 	qExec.Observe(exec)
 	qBatchItems.Observe(float64(items))
-	qConfigExec.With(configLabel(pt.Config)).Observe(exec)
-	if s.tuner.RecalibrationNeeded() {
+	qConfigExec.With(label).Observe(exec)
+	if recal {
 		gRecalNeeded.Set(1)
+		// First drift latch: leave an automatic flight dump behind while
+		// the spans and events that led up to it are still in the ring.
+		if s.driftLatched.CompareAndSwap(false, true) {
+			obs.Flight().Event("serve.drift_latch", label, obs.TraceID{})
+			if s.cfg.FlightLog != nil {
+				_ = obs.Flight().Dump(s.cfg.FlightLog)
+			}
+		}
 	}
 	s.mu.Lock()
 	s.trace = append(s.trace, idx)
@@ -226,20 +278,33 @@ func (s *Server) runBatch(reqs []*pending) {
 		s.trace = s.trace[len(s.trace)-maxBatchTrace:]
 	}
 	s.mu.Unlock()
+	s.refreshSlowThreshold()
 
-	label := configLabel(pt.Config)
-	for i, p := range live {
-		wait := start.Sub(p.enq)
-		qQueueWait.Observe(wait.Seconds())
-		p.res <- result{
-			out:        parts[i],
-			cfgIdx:     idx,
-			cfgLabel:   label,
-			batchItems: items,
-			queueWait:  wait,
-			exec:       wall,
-		}
+	return parts, result{
+		cfgIdx:     idx,
+		cfgLabel:   label,
+		batchItems: items,
+		exec:       wall,
+	}, nil
+}
+
+// slowMinSamples is how many request-latency observations must exist
+// before the slow-trace threshold is trusted (the quantile of a handful
+// of samples is noise).
+const slowMinSamples = 20
+
+// refreshSlowThreshold re-derives the tail sampler's "slow" cutoff from
+// the live request-latency quantile. Skipped when tracing is off
+// (nothing consumes it) and while samples are few.
+func (s *Server) refreshSlowThreshold() {
+	if s.cfg.Tracer == nil {
+		return
 	}
+	snap := qRequest.Snapshot()
+	if snap.Count() < slowMinSamples {
+		return
+	}
+	s.slowNs.Store(int64(snap.Quantile(s.cfg.SlowQuantile) * 1e9))
 }
 
 // maxBatchTrace bounds the retained per-batch configuration trace.
@@ -247,14 +312,15 @@ const maxBatchTrace = 65536
 
 // execute runs the graph, converting an executor panic (malformed
 // input, knob misuse) into an error so one poisoned request cannot take
-// down the batcher.
-func (s *Server) execute(batch *tensor.Tensor, cfg approx.Config) (out *tensor.Tensor, err error) {
+// down the batcher. sp, when non-nil, traces the execution (per-node
+// children subject to the tracer's detail budget).
+func (s *Server) execute(batch *tensor.Tensor, cfg approx.Config, sp *obs.Span) (out *tensor.Tensor, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("serve: execution failed: %v", r)
 		}
 	}()
-	return s.cfg.Graph.Execute(batch, cfg, graph.ExecOptions{RNG: s.rng}), nil
+	return s.cfg.Graph.Execute(batch, cfg, graph.ExecOptions{RNG: s.rng, Trace: sp}), nil
 }
 
 func (s *Server) fail(reqs []*pending, err error) {

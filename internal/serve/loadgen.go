@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -42,6 +43,12 @@ type LoadConfig struct {
 	SLO time.Duration
 	// Timeout bounds each HTTP call (default 30s).
 	Timeout time.Duration
+	// SlowestK is how many of the slowest OK requests to report trace
+	// IDs for (default 3). Trace IDs come from the traceparent response
+	// header, so the report links directly into /debug/flight and the
+	// server's kept tail samples; requests answered without a
+	// traceparent header (tracing disabled) are skipped.
+	SlowestK int
 }
 
 func (lc LoadConfig) withDefaults() LoadConfig {
@@ -60,7 +67,19 @@ func (lc LoadConfig) withDefaults() LoadConfig {
 	if lc.Timeout <= 0 {
 		lc.Timeout = 30 * time.Second
 	}
+	if lc.SlowestK <= 0 {
+		lc.SlowestK = 3
+	}
 	return lc
+}
+
+// TraceRef points a report line at one traced request: the trace ID the
+// server answered with (traceparent response header), the HTTP status,
+// and the client-observed latency.
+type TraceRef struct {
+	TraceID   string  `json:"trace_id"`
+	Status    int     `json:"status"`
+	LatencyMs float64 `json:"latency_ms"`
 }
 
 // LoadReport summarizes a load-generation run.
@@ -91,17 +110,32 @@ type LoadReport struct {
 	ConfigSwitches int   `json:"config_switches"`
 	CurveSwaps     int   `json:"curve_swaps"`
 	Batches        int64 `json:"batches"`
+
+	// SlowestTraces are the SlowestK slowest OK requests that carried a
+	// traceparent response header, slowest first; FailedTraces are all
+	// non-OK responses that carried one. Both let an operator jump from
+	// the loadgen summary straight to /debug/flight or the server's kept
+	// tail samples.
+	SlowestTraces []TraceRef `json:"slowest_traces,omitempty"`
+	FailedTraces  []TraceRef `json:"failed_traces,omitempty"`
 }
 
 // String renders the report for terminal output.
 func (r *LoadReport) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"%s loop: %d sent, %d ok, %d rejected, %d expired, %d failed in %.2fs (%.1f req/s)\n"+
 			"latency: p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n"+
 			"SLO %.1fms attainment: %.1f%% of accepted; server: %d switches, %d curve swaps, %d batches",
 		r.Mode, r.Sent, r.OK, r.Rejected, r.Expired, r.Failed, r.DurationSec, r.ThroughputRPS,
 		r.P50Ms, r.P95Ms, r.P99Ms, r.MaxMs,
 		r.SLOMs, 100*r.SLOAttainment, r.ConfigSwitches, r.CurveSwaps, r.Batches)
+	for _, tr := range r.SlowestTraces {
+		s += fmt.Sprintf("\nslow  trace %s: %.2fms (HTTP %d)", tr.TraceID, tr.LatencyMs, tr.Status)
+	}
+	for _, tr := range r.FailedTraces {
+		s += fmt.Sprintf("\nfailed trace %s: HTTP %d after %.2fms", tr.TraceID, tr.Status, tr.LatencyMs)
+	}
+	return s
 }
 
 // RunLoad executes a load-generation run. It fetches /v1/spec for the
@@ -144,11 +178,13 @@ func RunLoad(ctx context.Context, lc LoadConfig) (*LoadReport, error) {
 		mu        sync.Mutex
 		latencies []float64 // milliseconds, OK requests only
 		withinSLO int
+		okTraces  []TraceRef // OK responses that carried a traceparent header
 	)
-	record := func(status int, d time.Duration, err error) {
+	record := func(status int, d time.Duration, tid string, err error) {
 		mu.Lock()
 		defer mu.Unlock()
 		rep.Sent++
+		ref := TraceRef{TraceID: tid, Status: status, LatencyMs: d.Seconds() * 1e3}
 		switch {
 		case err != nil:
 			rep.Failed++
@@ -158,17 +194,29 @@ func RunLoad(ctx context.Context, lc LoadConfig) (*LoadReport, error) {
 			if d <= slo {
 				withinSLO++
 			}
+			if tid != "" {
+				okTraces = append(okTraces, ref)
+			}
 		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
 			rep.Rejected++
+			if tid != "" {
+				rep.FailedTraces = append(rep.FailedTraces, ref)
+			}
 		case status == http.StatusGatewayTimeout:
 			rep.Expired++
+			if tid != "" {
+				rep.FailedTraces = append(rep.FailedTraces, ref)
+			}
 		default:
 			rep.Failed++
+			if tid != "" {
+				rep.FailedTraces = append(rep.FailedTraces, ref)
+			}
 		}
 	}
 	fire := func(i int) {
-		status, d, err := postInfer(ctx, client, lc.URL, bodies[i%len(bodies)])
-		record(status, d, err)
+		status, d, tid, err := postInfer(ctx, client, lc.URL, bodies[i%len(bodies)])
+		record(status, d, tid, err)
 	}
 
 	start := time.Now()
@@ -228,12 +276,89 @@ func RunLoad(ctx context.Context, lc LoadConfig) (*LoadReport, error) {
 		rep.MaxMs = latencies[n-1]
 		rep.SLOAttainment = float64(withinSLO) / float64(n)
 	}
+	// Slowest-first among traced OK requests; non-OK traces stay in
+	// arrival order (they are usually few and each one matters).
+	sort.SliceStable(okTraces, func(i, j int) bool { return okTraces[i].LatencyMs > okTraces[j].LatencyMs })
+	if len(okTraces) > lc.SlowestK {
+		okTraces = okTraces[:lc.SlowestK]
+	}
+	rep.SlowestTraces = okTraces
 	if st, err := fetchStatz(ctx, client, lc.URL); err == nil {
 		rep.ConfigSwitches = st.Switches
 		rep.CurveSwaps = st.CurveSwaps
 		rep.Batches = st.Batches
 	}
 	return rep, nil
+}
+
+// TraceIDs collects the distinct trace IDs a report refers to, slowest
+// OK traces first, then failures.
+func (r *LoadReport) TraceIDs() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, refs := range [][]TraceRef{r.SlowestTraces, r.FailedTraces} {
+		for _, ref := range refs {
+			if ref.TraceID != "" && !seen[ref.TraceID] {
+				seen[ref.TraceID] = true
+				out = append(out, ref.TraceID)
+			}
+		}
+	}
+	return out
+}
+
+// VerifyFlight fetches the server's /debug/flight dump and asserts that
+// (a) an event named wantEvent is present, and (b) when tids is
+// non-empty, at least one span entry belongs to one of those traces.
+// It is the assertion half of `make trace-smoke`: loadgen injects load,
+// the server latches drift and dumps, and this proves the dump actually
+// links back to a request the client saw.
+func VerifyFlight(ctx context.Context, client *http.Client, base, wantEvent string, tids []string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/debug/flight", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("loadgen: flight fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: flight fetch: HTTP %d", resp.StatusCode)
+	}
+	want := make(map[string]bool, len(tids))
+	for _, t := range tids {
+		want[t] = true
+	}
+	var (
+		haveEvent bool
+		haveTrace bool
+		entries   int
+	)
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var e obs.FlightEntry
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return fmt.Errorf("loadgen: flight dump parse: %w", err)
+		}
+		entries++
+		if e.Kind == "event" && e.Name == wantEvent {
+			haveEvent = true
+		}
+		if e.Kind == "span" && want[e.TraceID.String()] {
+			haveTrace = true
+		}
+	}
+	if !haveEvent {
+		return fmt.Errorf("loadgen: flight dump (%d entries) missing event %q", entries, wantEvent)
+	}
+	if len(tids) > 0 && !haveTrace {
+		return fmt.Errorf("loadgen: flight dump (%d entries) has no span from traces %v", entries, tids)
+	}
+	return nil
 }
 
 func quantileMs(sorted []float64, q float64) float64 {
@@ -288,19 +413,26 @@ func fetchStatz(ctx context.Context, client *http.Client, base string) (*StatzBo
 	return &st, nil
 }
 
-func postInfer(ctx context.Context, client *http.Client, base string, body []byte) (int, time.Duration, error) {
+// postInfer fires one inference request and returns the status, the
+// client-observed latency, and the trace ID from the traceparent
+// response header ("" when the server answered without one).
+func postInfer(ctx context.Context, client *http.Client, base string, body []byte) (int, time.Duration, string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/infer", bytes.NewReader(body))
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	start := time.Now()
 	resp, err := client.Do(req)
 	d := time.Since(start)
 	if err != nil {
-		return 0, d, err
+		return 0, d, "", err
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode, d, nil
+	tid := ""
+	if sc := obs.Extract(resp.Header); sc.Valid() {
+		tid = sc.TraceID.String()
+	}
+	return resp.StatusCode, d, tid, nil
 }

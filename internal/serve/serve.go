@@ -27,6 +27,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/approx"
@@ -99,6 +100,36 @@ type Config struct {
 
 	// Seed drives the tuner's and the executor's deterministic RNG.
 	Seed int64
+
+	// Tracer, when set, records request-scoped spans for the serving
+	// path: a serve:request root per request (continuing an inbound
+	// traceparent when present and echoing the identity in the response
+	// header), a serve:admit child, and per-batch serve:batch /
+	// serve:execute / serve:tuner spans linking every member request's
+	// trace. Nil disables request tracing; the disabled path stays
+	// allocation-free.
+	Tracer *obs.Tracer
+	// Sampler receives the tail-sampling decision for every finished
+	// request trace. Register it as a sink on Tracer so it sees the span
+	// records it buffers. Nil disables sampling.
+	Sampler *obs.TailSampler
+	// SlowQuantile is the running quantile of serve.request_seconds
+	// above which a finished request is judged slow for the sampler
+	// (default 0.9).
+	SlowQuantile float64
+	// FlightLog, when set, receives one automatic flight-recorder JSONL
+	// dump on the first drift latch and one on the first non-draining
+	// /healthz 503 (re-armed by a curve swap). The batcher goroutine
+	// writes it; give it a race-free writer.
+	FlightLog io.Writer
+
+	// SlowdownFactor > 1 stretches every batch's wall time by that
+	// factor once SlowdownAfter batches have run — the injected-slowdown
+	// hook trace-smoke uses to provoke a real drift latch end to end.
+	SlowdownFactor float64
+	// SlowdownAfter is the batch count after which SlowdownFactor
+	// applies.
+	SlowdownAfter int
 	// MeasureExec, when set, replaces the wall clock as the batch
 	// latency source fed to the tuner: it receives the executed
 	// configuration and item count and returns seconds. Tests and
@@ -132,6 +163,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = DefaultDrainTimeout
 	}
+	if c.SlowQuantile <= 0 || c.SlowQuantile >= 1 {
+		c.SlowQuantile = 0.9
+	}
 	return c
 }
 
@@ -155,6 +189,14 @@ type Server struct {
 
 	ln   net.Listener
 	hsrv *http.Server
+
+	// slowNs is the live "slow request" threshold for tail sampling,
+	// re-derived from the request-latency quantile after each batch.
+	slowNs atomic.Int64
+	// driftLatched / healthDumped gate the one-shot automatic flight
+	// dumps (re-armed by a curve swap).
+	driftLatched atomic.Bool
+	healthDumped atomic.Bool
 
 	stats stats
 }
@@ -332,12 +374,13 @@ type SpecResponse struct {
 
 // Handler returns the serving API:
 //
-//	POST /v1/infer  — run inference (micro-batched, SLO-controlled)
-//	GET  /v1/spec   — serving contract (shapes, SLO, queue limits)
-//	POST /v1/curve  — hot-swap a freshly calibrated tradeoff curve
-//	GET  /healthz   — liveness; 503 while draining or once drift latches
-//	GET  /statz     — control-loop and queue state snapshot (JSON)
-//	GET  /metrics   — process metrics (JSON or Prometheus text)
+//	POST /v1/infer     — run inference (micro-batched, SLO-controlled)
+//	GET  /v1/spec      — serving contract (shapes, SLO, queue limits)
+//	POST /v1/curve     — hot-swap a freshly calibrated tradeoff curve
+//	GET  /healthz      — liveness; 503 while draining or once drift latches
+//	GET  /statz        — control-loop and queue state snapshot (JSON)
+//	GET  /metrics      — process metrics (JSON or Prometheus text)
+//	GET  /debug/flight — flight-recorder dump (JSONL, recent spans+events)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/infer", timed("/v1/infer", http.HandlerFunc(s.handleInfer)))
@@ -346,6 +389,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /healthz", timed("/healthz", http.HandlerFunc(s.handleHealthz)))
 	mux.Handle("GET /statz", timed("/statz", http.HandlerFunc(s.handleStatz)))
 	mux.Handle("GET /metrics", timed("/metrics", obs.MetricsHandler(nil)))
+	mux.Handle("GET /debug/flight", timed("/debug/flight", obs.Flight().Handler()))
 	return mux
 }
 
@@ -366,73 +410,101 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	gInFlight.Add(1)
 	defer gInFlight.Add(-1)
 
-	var req InferRequest
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err == nil {
-		err = json.Unmarshal(body, &req)
+	start := time.Now()
+	//lint:ignore spanend finishRequest ends the request span once latency and status are known
+	sp := s.startRequestSpan(w, r)
+	var sw0, al0 int
+	if sp != nil {
+		// Baseline tuner-event counters: a switch or drift alarm landing
+		// while this request is in flight makes its trace "eventful".
+		sw0, al0 = s.tuner.Switches(), s.tuner.DriftAlarms()
 	}
-	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
-		return
-	}
-	in, items, err := s.admitTensor(req.Input)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	if items > s.cfg.MaxBatch {
-		httpError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("request carries %d items, server max_batch is %d", items, s.cfg.MaxBatch))
-		return
-	}
+	status := s.serveInfer(w, r, sp)
+	s.finishRequest(sp, time.Since(start), status, sw0, al0)
+}
 
-	wait := s.cfg.MaxWait
-	if req.DeadlineMs > 0 {
-		if d := time.Duration(req.DeadlineMs * float64(time.Millisecond)); d < wait {
-			wait = d
+// startRequestSpan opens the per-request root span when request tracing
+// is enabled, continuing an inbound traceparent when one arrived, and
+// echoes the request's identity in the response header so clients can
+// report trace IDs. Returns nil — without touching the header or
+// allocating — when tracing is disabled.
+func (s *Server) startRequestSpan(w http.ResponseWriter, r *http.Request) *obs.Span {
+	tr := s.cfg.Tracer
+	if tr == nil {
+		return nil
+	}
+	sp := tr.StartRemote(obs.Extract(r.Header), "serve:request")
+	w.Header().Set(obs.TraceparentHeader, obs.FormatTraceparent(sp.Context()))
+	return sp
+}
+
+// finishRequest ends the request's root span and makes the tail-sampling
+// decision now that latency, status and tuner-event overlap are known.
+// The latency histogram is fed here: with a trace-linked exemplar when
+// the trace was kept, plain otherwise — so every exposed exemplar
+// references a retrievable trace.
+func (s *Server) finishRequest(sp *obs.Span, total time.Duration, status int, sw0, al0 int) {
+	sec := total.Seconds()
+	if sp == nil {
+		if status == http.StatusOK {
+			qRequest.Observe(sec)
 		}
+		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), wait)
-	defer cancel()
+	sp.With("status", status)
+	sp.End()
+	tid := sp.TraceID()
+	thr := s.slowNs.Load()
+	v := obs.Verdict{
+		Slow:     thr > 0 && total.Nanoseconds() >= thr,
+		Errored:  status == http.StatusTooManyRequests || status >= http.StatusInternalServerError,
+		Eventful: s.tuner.Switches() != sw0 || s.tuner.DriftAlarms() != al0,
+	}
+	kept := false
+	if s.cfg.Sampler != nil {
+		kept, _ = s.cfg.Sampler.Finish(tid, v)
+	}
+	if status != http.StatusOK {
+		return
+	}
+	if kept {
+		qRequest.ObserveExemplar(sec, tid)
+	} else {
+		qRequest.Observe(sec)
+	}
+}
 
-	p := &pending{in: in, items: items, ctx: ctx, enq: time.Now(), res: make(chan result, 1)}
-	switch s.enqueue(p) {
-	case admitOK:
-	case admitDraining:
-		s.stats.rejected.Add(1)
-		mRejectedDrain.Inc()
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "server is draining")
-		return
-	default: // admitFull
-		s.stats.rejected.Add(1)
-		mRejectedFull.Inc()
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, "admission queue full")
-		return
+// serveInfer is the request body of POST /v1/infer: admit, wait for the
+// batcher's answer, reply. It returns the HTTP status it wrote.
+func (s *Server) serveInfer(w http.ResponseWriter, r *http.Request, sp *obs.Span) int {
+	p, cancel, status := s.admit(w, r, sp)
+	if p == nil {
+		return status
 	}
+	defer cancel()
 
 	// The batcher owns the request now and answers exactly once —
 	// including expiry against the context deadline.
 	res := <-p.res
 	if res.err != nil {
-		if ctx.Err() != nil {
+		if p.ctx.Err() != nil {
 			s.stats.expired.Add(1)
 			mExpired.Inc()
+			obs.Flight().Event("serve.deadline_expired", "", sp.TraceID())
 			httpError(w, http.StatusGatewayTimeout, "deadline exceeded before execution")
-			return
+			return http.StatusGatewayTimeout
 		}
 		s.stats.failed.Add(1)
 		mFailed.Inc()
 		httpError(w, http.StatusInternalServerError, res.err.Error())
-		return
+		return http.StatusInternalServerError
 	}
 	total := time.Since(p.enq)
-	qRequest.Observe(total.Seconds())
 	if total > s.cfg.SLO {
 		s.stats.sloMisses.Add(1)
 		mSLOMiss.Inc()
 	}
+	sp.With("config", res.cfgLabel).With("batch_items", res.batchItems)
 	s.stats.served.Add(1)
 	writeJSON(w, http.StatusOK, InferResponse{
 		Output:      TensorJSON{Dims: res.out.Shape().Dims(), Data: res.out.Data()},
@@ -442,6 +514,66 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		QueueMs:     res.queueWait.Seconds() * 1e3,
 		ExecMs:      res.exec.Seconds() * 1e3,
 	})
+	return http.StatusOK
+}
+
+// admit parses, validates and enqueues one request under a serve:admit
+// child span. On rejection it answers the request itself and returns a
+// nil pending with the status written; on success the batcher owns the
+// returned pending and the caller must invoke the cancel func.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, sp *obs.Span) (*pending, context.CancelFunc, int) {
+	asp := sp.Child("serve:admit")
+	defer asp.End()
+
+	var req InferRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err == nil {
+		err = json.Unmarshal(body, &req)
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return nil, nil, http.StatusBadRequest
+	}
+	in, items, err := s.admitTensor(req.Input)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return nil, nil, http.StatusBadRequest
+	}
+	if items > s.cfg.MaxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request carries %d items, server max_batch is %d", items, s.cfg.MaxBatch))
+		return nil, nil, http.StatusRequestEntityTooLarge
+	}
+	asp.With("items", items)
+
+	wait := s.cfg.MaxWait
+	if req.DeadlineMs > 0 {
+		if d := time.Duration(req.DeadlineMs * float64(time.Millisecond)); d < wait {
+			wait = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	p := &pending{in: in, items: items, ctx: ctx, enq: time.Now(), res: make(chan result, 1), sc: sp.Context()}
+	switch s.enqueue(p) {
+	case admitOK:
+		return p, cancel, http.StatusOK
+	case admitDraining:
+		cancel()
+		s.stats.rejected.Add(1)
+		mRejectedDrain.Inc()
+		obs.Flight().Event("serve.reject_draining", "", sp.TraceID())
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return nil, nil, http.StatusServiceUnavailable
+	default: // admitFull
+		cancel()
+		s.stats.rejected.Add(1)
+		mRejectedFull.Inc()
+		obs.Flight().Event("serve.reject_full", "", sp.TraceID())
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "admission queue full")
+		return nil, nil, http.StatusTooManyRequests
+	}
 }
 
 // admitTensor validates a request tensor against the serving item shape
@@ -505,6 +637,10 @@ func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	gRecalNeeded.Set(0)
+	// A fresh curve releases the latch, so re-arm the one-shot automatic
+	// flight dumps for the next drift episode.
+	s.driftLatched.Store(false)
+	s.healthDumped.Store(false)
 	writeJSON(w, http.StatusOK, map[string]any{"swapped": true, "points": curve.Len()})
 }
 
@@ -536,6 +672,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		gRecalNeeded.Set(1)
 	} else {
 		gRecalNeeded.Set(0)
+	}
+	// First transition into an unhealthy probe (drift, not drain): leave
+	// a flight dump behind while the evidence is still in the ring.
+	if code == http.StatusServiceUnavailable && !draining && s.healthDumped.CompareAndSwap(false, true) {
+		obs.Flight().Event("serve.healthz_503", body.Status, obs.TraceID{})
+		if s.cfg.FlightLog != nil {
+			_ = obs.Flight().Dump(s.cfg.FlightLog)
+		}
 	}
 	writeJSON(w, code, body)
 }
@@ -571,6 +715,16 @@ type StatzBody struct {
 	CurveSwaps  int                `json:"curve_swaps"`
 	SwitchTrace []core.SwitchEvent `json:"switch_trace"`
 	Health      core.RuntimeHealth `json:"health"`
+
+	// Sampler is the tail-sampler state (nil when tracing is disabled).
+	Sampler *SamplerStats `json:"sampler,omitempty"`
+}
+
+// SamplerStats summarizes the tail sampler for /statz.
+type SamplerStats struct {
+	Seen    int64 `json:"seen"`    // finished traces decided
+	Kept    int64 `json:"kept"`    // traces retained
+	Evicted int64 `json:"evicted"` // undecided traces evicted under memory pressure
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
@@ -586,6 +740,11 @@ func (s *Server) Stats() StatzBody {
 	trace := s.tuner.SwitchTrace()
 	if len(trace) > 32 {
 		trace = trace[len(trace)-32:]
+	}
+	var samp *SamplerStats
+	if s.cfg.Sampler != nil {
+		seen, kept, evicted := s.cfg.Sampler.Stats()
+		samp = &SamplerStats{Seen: seen, Kept: kept, Evicted: evicted}
 	}
 	return StatzBody{
 		Program:       s.cfg.Curve.Program,
@@ -612,6 +771,7 @@ func (s *Server) Stats() StatzBody {
 		CurveSwaps:    s.tuner.CurveSwaps(),
 		SwitchTrace:   trace,
 		Health:        s.tuner.Health(),
+		Sampler:       samp,
 	}
 }
 
