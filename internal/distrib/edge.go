@@ -227,6 +227,12 @@ func (e *Edge) Run(ctx context.Context) (*pareto.Curve, error) {
 			continue
 		}
 		if cr.Ready {
+			// End the run's root span before the telemetry upload: Records()
+			// only holds completed spans, and shipping children whose
+			// ParentSpanID references a never-uploaded root would leave the
+			// coordinator's assembled trace headless. End is idempotent, so
+			// the deferred End (which covers every error path) is a no-op.
+			e.span.End()
 			e.reportTelemetry(ctx)
 			return pareto.UnmarshalCurve(cr.Curve)
 		}

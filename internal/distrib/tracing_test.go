@@ -99,12 +99,15 @@ func TestCrossProcessTracing(t *testing.T) {
 			continue
 		}
 		var edgeSide, coordSide int
-		parented := false
+		parented, hasRoot := false, false
 		bySpanID := make(map[obs.SpanID]obs.SpanRecord, len(spans))
 		for _, rec := range spans {
 			if strings.HasPrefix(rec.Name, "edge:") {
 				edgeSide++
 				bySpanID[rec.SpanID] = rec
+			}
+			if rec.Name == "edge:run" {
+				hasRoot = true
 			}
 		}
 		for _, rec := range spans {
@@ -124,6 +127,12 @@ func TestCrossProcessTracing(t *testing.T) {
 		}
 		if !parented {
 			t.Errorf("edge %d trace %s: no coord span parented by an edge:request span", i, runTID[i])
+		}
+		// The edge:run root itself must reach the coordinator: the edge
+		// ends it before the final telemetry upload, so the assembled
+		// trace has a head, not just children of a phantom parent.
+		if !hasRoot {
+			t.Errorf("edge %d trace %s: assembled trace is missing the edge:run root span", i, runTID[i])
 		}
 	}
 }

@@ -82,7 +82,10 @@ func (f *FlightRecorder) record(e FlightEntry) {
 }
 
 // OnSpanEnd records a completed span (SpanSink; the default recorder is
-// wired into every tracer's finish path).
+// wired into every tracer's finish path). rec.Start must be on the
+// process clock (obs.Now) so span and event entries in one ring are
+// chronologically comparable — Tracer.finish normalizes its
+// tracer-relative starts before calling this.
 func (f *FlightRecorder) OnSpanEnd(rec SpanRecord) {
 	f.record(FlightEntry{
 		Kind:    "span",

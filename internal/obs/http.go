@@ -22,46 +22,69 @@ type Server struct {
 	srv  *http.Server
 }
 
+// metricsFormat is the negotiated /metrics exposition.
+type metricsFormat int
+
+const (
+	fmtJSON        metricsFormat = iota // expvar-style indented JSON snapshot
+	fmtProm                             // classic text 0.0.4, no exemplars
+	fmtOpenMetrics                      // OpenMetrics 1.0, exemplars on buckets
+)
+
 // MetricsHandler serves the registry at a /metrics-style endpoint with
-// content negotiation: `?format=prom` (or an Accept header naming
-// text/plain or application/openmetrics-text, as Prometheus scrapers
-// send) selects the Prometheus text exposition; `?format=json` or an
-// Accept header naming application/json — and any request expressing no
-// preference — selects the expvar-style indented JSON snapshot, which
-// keeps existing `curl :8090/metrics` consumers byte-compatible.
+// content negotiation: `?format=openmetrics` (or an Accept header
+// naming application/openmetrics-text, which modern Prometheus
+// scrapers prefer) selects the OpenMetrics exposition — the only
+// format whose grammar has exemplars; `?format=prom` (or an Accept
+// naming text/plain) selects the classic 0.0.4 text exposition, which
+// never carries exemplars; `?format=json` or an Accept header naming
+// application/json — and any request expressing no preference —
+// selects the expvar-style indented JSON snapshot, which keeps
+// existing `curl :8090/metrics` consumers byte-compatible.
 func MetricsHandler(reg *Registry) http.Handler {
 	if reg == nil {
 		reg = Default
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if wantsProm(r) {
+		switch negotiateMetrics(r) {
+		case fmtOpenMetrics:
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			_ = reg.WriteOpenMetrics(w)
+		case fmtProm:
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			_ = reg.WritePrometheus(w)
-			return
+		default:
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(reg.Snapshot())
 		}
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(reg.Snapshot())
 	})
 }
 
-// wantsProm applies the /metrics content negotiation: the explicit
-// format query parameter wins; otherwise the Accept header decides, with
-// JSON as the no-preference default.
-func wantsProm(r *http.Request) bool {
+// negotiateMetrics applies the /metrics content negotiation: the
+// explicit format query parameter wins; otherwise the Accept header
+// decides (OpenMetrics outranking classic text, as a scraper offering
+// both prefers it), with JSON as the no-preference default.
+func negotiateMetrics(r *http.Request) metricsFormat {
 	switch r.URL.Query().Get("format") {
 	case "prom", "prometheus":
-		return true
+		return fmtProm
+	case "openmetrics":
+		return fmtOpenMetrics
 	case "json":
-		return false
+		return fmtJSON
 	}
 	accept := r.Header.Get("Accept")
-	if strings.Contains(accept, "application/json") {
-		return false
+	switch {
+	case strings.Contains(accept, "application/openmetrics-text"):
+		return fmtOpenMetrics
+	case strings.Contains(accept, "application/json"):
+		return fmtJSON
+	case strings.Contains(accept, "text/plain"):
+		return fmtProm
 	}
-	return strings.Contains(accept, "text/plain") ||
-		strings.Contains(accept, "application/openmetrics-text")
+	return fmtJSON
 }
 
 // HealthzHandler answers liveness probes with 200 "ok". It reports the
@@ -91,7 +114,7 @@ func ServeMetrics(addr string, reg *Registry, tr *Tracer) (*Server, error) {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "approxtuner observability endpoint\n\n/metrics      metric snapshot (JSON; ?format=prom or a Prometheus Accept header for text exposition)\n/healthz      liveness probe\n/trace        span tree of the active tracer\n/debug/flight flight-recorder dump (JSONL, most recent spans + events)\n/debug/pprof  live profiling\n")
+		fmt.Fprintf(w, "approxtuner observability endpoint\n\n/metrics      metric snapshot (JSON; ?format=prom for classic text, ?format=openmetrics for OpenMetrics with exemplars; Accept negotiated)\n/healthz      liveness probe\n/trace        span tree of the active tracer\n/debug/flight flight-recorder dump (JSONL, most recent spans + events)\n/debug/pprof  live profiling\n")
 	})
 	mux.Handle("/metrics", MetricsHandler(reg))
 	mux.Handle("/healthz", HealthzHandler())

@@ -9,9 +9,9 @@ import (
 	"strings"
 )
 
-// WritePrometheus writes every metric of the registry in the Prometheus
-// text exposition format (version 0.0.4), ordered by metric name so the
-// output is deterministic for a given registry state:
+// WritePrometheus writes every metric of the registry in the classic
+// Prometheus text exposition format (version 0.0.4), ordered by metric
+// name so the output is deterministic for a given registry state:
 //
 //   - Counter      → counter
 //   - Gauge        → gauge
@@ -22,10 +22,35 @@ import (
 //     `<name>_max` gauge for the tail
 //   - QHistVec     → summary with a `key` label per family member
 //
+// The classic format has no exemplar syntax, so exemplars are never
+// emitted here — a scraper speaking text/plain;version=0.0.4 would
+// fail the whole scrape on one. Exemplar-carrying exposition is
+// WriteOpenMetrics; the JSON snapshot carries them too.
+//
 // Metric names are mangled dots-to-underscores ("runtime.drift_alarms"
 // → "runtime_drift_alarms"), which maps the project's snake_case dotted
 // naming convention onto Prometheus' [a-zA-Z_:] charset exactly.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeText(w, false)
+}
+
+// WriteOpenMetrics writes the registry in the OpenMetrics 1.0 text
+// format (terminated by the mandatory `# EOF`). Differences from the
+// classic exposition, per the OpenMetrics grammar:
+//
+//   - counter samples carry the canonical `_total` suffix;
+//   - QHistogram / QHistVec families are exposed as histograms —
+//     cumulative `_bucket{le=...}` series over the log-linear buckets
+//     actually touched — because OpenMetrics allows exemplars only on
+//     histogram buckets and counters, never on summary quantiles. Each
+//     bucket line carries its recorded exemplar
+//     (`# {trace_id="…"} value`); quantiles come from
+//     histogram_quantile() over the buckets.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.writeText(w, true)
+}
+
+func (r *Registry) writeText(w io.Writer, om bool) error {
 	r.mu.RLock()
 	names := make([]string, 0, len(r.metrics))
 	byName := make(map[string]any, len(r.metrics))
@@ -37,19 +62,25 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 
 	pw := &promWriter{w: w}
+	ctrSample := func(pn string) string {
+		if om {
+			return pn + "_total"
+		}
+		return pn
+	}
 	for _, name := range names {
 		pn := promName(name)
 		switch m := byName[name].(type) {
 		case *Counter:
 			pw.typ(pn, "counter")
-			pw.line(pn, "", float64(m.Value()))
+			pw.line(ctrSample(pn), "", float64(m.Value()))
 		case *Gauge:
 			pw.typ(pn, "gauge")
 			pw.line(pn, "", m.Value())
 		case *CounterVec:
 			pw.typ(pn, "counter")
 			for _, kv := range sortedLabels(m.snapshot()) {
-				pw.line(pn, promLabel("key", kv.k), float64(kv.v))
+				pw.line(ctrSample(pn), promLabel("key", kv.k), float64(kv.v))
 			}
 		case *GaugeVec:
 			pw.typ(pn, "gauge")
@@ -67,14 +98,39 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			pw.line(pn+"_sum", "", m.Sum())
 			pw.line(pn+"_count", "", float64(m.Count()))
 		case *QHistogram:
-			pw.typ(pn, "summary")
-			pw.summary(pn, m.Snapshot(), "")
+			if om {
+				s := m.Snapshot()
+				pw.typ(pn, "histogram")
+				pw.qhistOM(pn, s, "")
+				// The tail maximum is its own gauge family: _max is not a
+				// histogram sample suffix the OpenMetrics grammar knows.
+				pw.typ(pn+"_max", "gauge")
+				pw.line(pn+"_max", "", s.Max())
+			} else {
+				pw.typ(pn, "summary")
+				pw.summary(pn, m.Snapshot(), "")
+			}
 		case *QHistVec:
-			pw.typ(pn, "summary")
-			for _, kv := range sortedSnapshotLabels(m.snapshots()) {
-				pw.summary(pn, kv.v, promLabel("key", kv.k))
+			if om {
+				snaps := sortedSnapshotLabels(m.snapshots())
+				pw.typ(pn, "histogram")
+				for _, kv := range snaps {
+					pw.qhistOM(pn, kv.v, promLabel("key", kv.k))
+				}
+				pw.typ(pn+"_max", "gauge")
+				for _, kv := range snaps {
+					pw.line(pn+"_max", promLabel("key", kv.k), kv.v.Max())
+				}
+			} else {
+				pw.typ(pn, "summary")
+				for _, kv := range sortedSnapshotLabels(m.snapshots()) {
+					pw.summary(pn, kv.v, promLabel("key", kv.k))
+				}
 			}
 		}
+	}
+	if om {
+		pw.printf("# EOF\n")
 	}
 	return pw.err
 }
@@ -102,38 +158,65 @@ func (p *promWriter) line(name, labels string, v float64) {
 	p.printf("%s{%s} %s\n", name, labels, promFloat(v))
 }
 
-// summary emits one quantile histogram as a Prometheus summary (the
-// quantile series plus _sum/_count) and a _max gauge for the tail.
-// Quantile series carry an OpenMetrics exemplar when the snapshot holds
-// one near that quantile's bucket. extra, when non-empty, is prepended
-// to each series' label set.
+// summary emits one quantile histogram as a classic Prometheus summary
+// (the quantile series plus _sum/_count) and a _max gauge for the tail.
+// No exemplars: the classic format has no syntax for them, and
+// OpenMetrics forbids them on summaries anyway. extra, when non-empty,
+// is prepended to each series' label set.
 func (p *promWriter) summary(name string, s *QSnapshot, extra string) {
-	join := func(q string) string {
-		if extra == "" {
-			return q
-		}
-		return extra + "," + q
-	}
+	join := joinLabels(extra)
 	sum := s.Summary()
-	p.quantileLine(name, join(promLabel("quantile", "0.5")), sum.P50, s, 0.50)
-	p.quantileLine(name, join(promLabel("quantile", "0.9")), sum.P90, s, 0.90)
-	p.quantileLine(name, join(promLabel("quantile", "0.99")), sum.P99, s, 0.99)
+	p.line(name, join(promLabel("quantile", "0.5")), sum.P50)
+	p.line(name, join(promLabel("quantile", "0.9")), sum.P90)
+	p.line(name, join(promLabel("quantile", "0.99")), sum.P99)
 	p.line(name+"_sum", extra, sum.Sum)
 	p.line(name+"_count", extra, float64(sum.Count))
 	p.line(name+"_max", extra, sum.Max)
 }
 
-// quantileLine is line plus an OpenMetrics exemplar suffix
-// (`# {trace_id="..."} value`) when the snapshot has an exemplar near
-// the quantile's bucket.
-func (p *promWriter) quantileLine(name, labels string, v float64, s *QSnapshot, q float64) {
-	ex, ok := s.ExemplarNear(q)
-	if !ok {
+// qhistOM emits one quantile histogram as an OpenMetrics histogram:
+// cumulative _bucket series at the upper bounds of the non-empty
+// log-linear buckets (plus the mandatory +Inf bucket), each carrying
+// its bucket's exemplar when one was recorded — the only sample kind
+// OpenMetrics allows exemplars on. extra, when non-empty, is prepended
+// to each series' label set.
+func (p *promWriter) qhistOM(name string, s *QSnapshot, extra string) {
+	join := joinLabels(extra)
+	var cum int64
+	for i := 0; i < qhistNBuckets-1; i++ {
+		n := s.counts[i]
+		ex, hasEx := s.exemplars[i]
+		if n == 0 && !hasEx {
+			continue
+		}
+		cum += n
+		p.bucketLine(name+"_bucket", join(promLabel("le", promFloat(qhistUpper(i)))), float64(cum), ex, hasEx)
+	}
+	ex, hasEx := s.exemplars[qhistNBuckets-1]
+	p.bucketLine(name+"_bucket", join(promLabel("le", "+Inf")), float64(s.count), ex, hasEx)
+	p.line(name+"_sum", extra, s.sum)
+	p.line(name+"_count", extra, float64(s.count))
+}
+
+// bucketLine is line plus an OpenMetrics exemplar
+// (`# {trace_id="..."} value`) when the bucket has one.
+func (p *promWriter) bucketLine(name, labels string, v float64, ex Exemplar, hasEx bool) {
+	if !hasEx {
 		p.line(name, labels, v)
 		return
 	}
 	p.printf("%s{%s} %s # {trace_id=\"%s\"} %s\n",
 		name, labels, promFloat(v), ex.TraceID.String(), promFloat(ex.Value))
+}
+
+// joinLabels returns a label joiner that prepends extra when non-empty.
+func joinLabels(extra string) func(string) string {
+	return func(q string) string {
+		if extra == "" {
+			return q
+		}
+		return extra + "," + q
+	}
 }
 
 // promName maps a registry name onto the Prometheus metric charset.

@@ -36,7 +36,8 @@ func promTestRegistry() *Registry {
 	for i := 1; i <= 100; i++ {
 		if i == 50 {
 			// One exemplar in the p50 bucket: same counts as a plain
-			// Observe, plus an OpenMetrics exemplar on the quantile line.
+			// Observe. Only the OpenMetrics exposition may render it —
+			// classic text 0.0.4 has no exemplar syntax.
 			q.ObserveExemplar(float64(i)/1024, exTID)
 			continue
 		}
@@ -64,22 +65,59 @@ func TestWritePrometheusGolden(t *testing.T) {
 	if buf.String() != string(want) {
 		t.Errorf("prometheus exposition drifted from testdata/prom.golden:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
 	}
-	// The golden — exemplar line included — must also pass the line
-	// validator, so the exemplar syntax stays within the grammar scrapers
-	// accept.
 	checkPromFormat(t, buf.String())
+	// Exemplars were recorded on the registry, but classic text 0.0.4
+	// has no exemplar syntax — one would fail the whole scrape in a real
+	// Prometheus. The classic exposition must never carry them.
+	if strings.Contains(buf.String(), "# {") {
+		t.Error("classic exposition carries an exemplar suffix; format 0.0.4 has no exemplar grammar")
+	}
 }
 
-// promLineRe matches one valid Prometheus text-format sample or comment
-// line (the subset the writer emits), including an optional OpenMetrics
-// exemplar suffix (`# {trace_id="..."} value`) on sample lines.
+// TestWriteOpenMetricsGolden pins the OpenMetrics exposition — counter
+// _total suffixes, quantile histograms as native-bucket histograms,
+// exemplars on _bucket lines, # EOF — against
+// testdata/openmetrics.golden.
+func TestWriteOpenMetricsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promTestRegistry().WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/openmetrics.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("openmetrics exposition drifted from testdata/openmetrics.golden:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+	checkOpenMetricsFormat(t, buf.String())
+	if !strings.Contains(buf.String(), `# {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"}`) {
+		t.Error("openmetrics exposition dropped the recorded exemplar")
+	}
+}
+
+// promValuePat matches one exposition float the writer emits.
 const promValuePat = `(-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)`
 
+// promLineRe matches one valid classic Prometheus text-format sample or
+// comment line (the subset the writer emits). No exemplar suffix: the
+// classic grammar has none.
 var promLineRe = regexp.MustCompile(`^(# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* .+` +
 	`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? ` +
+	promValuePat + `)$`)
+
+// omLineRe additionally admits the OpenMetrics exemplar suffix
+// (`# {trace_id="..."} value`) and the `# EOF` terminator.
+var omLineRe = regexp.MustCompile(`^(# EOF` +
+	`|# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* .+` +
+	`|([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? ` +
 	promValuePat + `( # \{trace_id="[0-9a-f]{32}"\} ` + promValuePat + `)?)$`)
 
-// checkPromFormat validates every non-empty line of a text exposition.
+// omExemplarRe captures the sample name of an exemplar-carrying line.
+var omExemplarRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)\{.* # \{trace_id=`)
+
+// checkPromFormat validates every non-empty line of a classic text
+// exposition.
 func checkPromFormat(t *testing.T, text string) {
 	t.Helper()
 	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
@@ -89,6 +127,27 @@ func checkPromFormat(t *testing.T, text string) {
 	for _, line := range lines {
 		if !promLineRe.MatchString(line) {
 			t.Errorf("invalid prometheus text line: %q", line)
+		}
+	}
+}
+
+// checkOpenMetricsFormat validates an OpenMetrics exposition: every
+// line within the grammar, exemplars only on _bucket/_total samples
+// (the only places OpenMetrics allows them), terminated by # EOF.
+func checkOpenMetricsFormat(t *testing.T, text string) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) == 0 || lines[len(lines)-1] != "# EOF" {
+		t.Fatal("openmetrics exposition does not end with # EOF")
+	}
+	for _, line := range lines {
+		if !omLineRe.MatchString(line) {
+			t.Errorf("invalid openmetrics line: %q", line)
+		}
+		if m := omExemplarRe.FindStringSubmatch(line); m != nil {
+			if name := m[1]; !strings.HasSuffix(name, "_bucket") && !strings.HasSuffix(name, "_total") {
+				t.Errorf("exemplar on %q; OpenMetrics allows exemplars only on histogram buckets and counters: %q", name, line)
+			}
 		}
 	}
 }
@@ -106,20 +165,22 @@ func TestWritePrometheusValidFormat(t *testing.T) {
 }
 
 // TestMetricsContentNegotiation checks the /metrics format selection:
-// query parameter beats Accept header beats the JSON default.
+// query parameter beats Accept header beats the JSON default, and a
+// scraper offering OpenMetrics gets it over classic text.
 func TestMetricsContentNegotiation(t *testing.T) {
 	cases := []struct {
 		format, accept string
-		wantProm       bool
+		want           metricsFormat
 	}{
-		{"", "", false},
-		{"", "text/html,application/xhtml+xml", false},
-		{"", "application/json", false},
-		{"", "text/plain;version=0.0.4", true},
-		{"", "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5,*/*;q=0.1", true},
-		{"prom", "application/json", true},
-		{"prometheus", "", true},
-		{"json", "text/plain", false},
+		{"", "", fmtJSON},
+		{"", "text/html,application/xhtml+xml", fmtJSON},
+		{"", "application/json", fmtJSON},
+		{"", "text/plain;version=0.0.4", fmtProm},
+		{"", "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5,*/*;q=0.1", fmtOpenMetrics},
+		{"prom", "application/json", fmtProm},
+		{"prometheus", "", fmtProm},
+		{"openmetrics", "text/plain", fmtOpenMetrics},
+		{"json", "text/plain", fmtJSON},
 	}
 	for _, c := range cases {
 		req, err := http.NewRequest("GET", "/metrics?format="+c.format, nil)
@@ -129,8 +190,8 @@ func TestMetricsContentNegotiation(t *testing.T) {
 		if c.accept != "" {
 			req.Header.Set("Accept", c.accept)
 		}
-		if got := wantsProm(req); got != c.wantProm {
-			t.Errorf("format=%q accept=%q: wantsProm = %v, want %v", c.format, c.accept, got, c.wantProm)
+		if got := negotiateMetrics(req); got != c.want {
+			t.Errorf("format=%q accept=%q: negotiateMetrics = %v, want %v", c.format, c.accept, got, c.want)
 		}
 	}
 }
@@ -208,6 +269,11 @@ func TestConcurrentScrapes(t *testing.T) {
 				} else if !strings.Contains(body, "obs_scrape_test_total") {
 					t.Error("prom scrape missing obs_scrape_test_total")
 				}
+				if body, code := get("/metrics?format=openmetrics"); code != http.StatusOK {
+					t.Errorf("/metrics openmetrics status %d", code)
+				} else if !strings.HasSuffix(strings.TrimRight(body, "\n"), "# EOF") {
+					t.Error("openmetrics scrape missing # EOF terminator")
+				}
 				if body, code := get("/metrics"); code != http.StatusOK || !strings.HasPrefix(strings.TrimSpace(body), "{") {
 					t.Errorf("/metrics json scrape broken (status %d)", code)
 				}
@@ -224,9 +290,11 @@ func TestConcurrentScrapes(t *testing.T) {
 	close(stop)
 	writers.Wait()
 
-	// A final prom scrape must still be format-valid.
+	// Final scrapes in both text formats must still be format-valid.
 	body, _ := get("/metrics?format=prom")
 	checkPromFormat(t, body)
+	body, _ = get("/metrics?format=openmetrics")
+	checkOpenMetricsFormat(t, body)
 }
 
 // TestWriteSummaryTable smoke-tests the end-of-run table renderer over

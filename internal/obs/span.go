@@ -174,7 +174,14 @@ func (t *Tracer) finish(rec SpanRecord) {
 	t.mu.Unlock()
 	// Sinks and the always-on flight recorder run outside the tracer
 	// lock: a sink may take its own locks or call back into obs.
-	defaultFlight.OnSpanEnd(rec)
+	// The flight ring is one process-wide timeline whose events are
+	// stamped with Now(), so the span's tracer-relative clock is
+	// normalized onto the process clock before recording; sinks keep
+	// the raw record (self-consistent within one tracer).
+	frec := rec
+	frec.Start += t.epoch
+	frec.End += t.epoch
+	defaultFlight.OnSpanEnd(frec)
 	for _, s := range t.sinks {
 		s.OnSpanEnd(rec)
 	}

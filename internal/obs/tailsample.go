@@ -242,6 +242,19 @@ func (ts *TailSampler) Drop(tid TraceID) {
 	ts.mu.Unlock()
 }
 
+// PendingCount returns the number of undecided traces currently
+// buffered. In a healthy serve loop it tracks the requests in flight:
+// batch traces are dropped after their linked fan-out, so only traces
+// awaiting a Finish verdict occupy slots.
+func (ts *TailSampler) PendingCount() int {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.pending)
+}
+
 // Kept returns a copy of the retained traces, oldest decision first.
 func (ts *TailSampler) Kept() []KeptTrace {
 	if ts == nil {

@@ -215,6 +215,40 @@ func TestFlightRecorderRetainsRecent(t *testing.T) {
 	}
 }
 
+// TestFlightTimeBase pins the ring onto a single clock: a span finished
+// through a tracer and an event stamped directly must both land with
+// Start on the process clock (obs.Now), so entries from the two paths
+// are chronologically comparable. Tracers keep spans epoch-relative
+// internally; finish must normalize before handing off to the ring.
+func TestFlightTimeBase(t *testing.T) {
+	t0 := Now()
+	tr := NewTracer(TracerOptions{IDSeed: 99})
+	sp := tr.Start("flight-timebase-span")
+	sp.End()
+	Flight().Event("flight-timebase-event", "", TraceID{})
+	t1 := Now()
+
+	starts := make(map[string]int64)
+	for _, e := range Flight().Entries() {
+		if e.Name == "flight-timebase-span" || e.Name == "flight-timebase-event" {
+			starts[e.Name] = e.Start
+		}
+	}
+	for _, name := range []string{"flight-timebase-span", "flight-timebase-event"} {
+		got, ok := starts[name]
+		if !ok {
+			t.Fatalf("%s not found in flight ring", name)
+		}
+		if got < t0 || got > t1 {
+			t.Errorf("%s Start=%d outside process-clock window [%d, %d]; mixed time bases in ring", name, got, t0, t1)
+		}
+	}
+	if starts["flight-timebase-event"] < starts["flight-timebase-span"] {
+		t.Errorf("event recorded after span sorts before it: span=%d event=%d",
+			starts["flight-timebase-span"], starts["flight-timebase-event"])
+	}
+}
+
 // sampleTrace pushes one synthetic single-span trace through a sampler
 // and finishes it with the given verdict.
 func sampleTrace(ts *TailSampler, ids *IDSource, v Verdict) (TraceID, bool, string) {

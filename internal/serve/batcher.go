@@ -203,6 +203,15 @@ func (s *Server) executeBatch(live []*pending, start time.Time) ([]*tensor.Tenso
 			bsp.Link(p.sc.TraceID)
 		}
 	}
+	// Runs after bsp.End() (LIFO): by then the sampler's linked fan-out
+	// has copied the batch subtree into every member trace, and the
+	// batch's own trace — which nothing ever calls Finish on — must not
+	// pin a pending slot until eviction pressure reclaims it.
+	defer func() {
+		if bsp != nil && s.cfg.Sampler != nil {
+			s.cfg.Sampler.Drop(bsp.TraceID())
+		}
+	}()
 	defer bsp.End()
 
 	pt, idx := s.tuner.Acquire()
@@ -267,9 +276,7 @@ func (s *Server) executeBatch(live []*pending, start time.Time) ([]*tensor.Tenso
 		// the spans and events that led up to it are still in the ring.
 		if s.driftLatched.CompareAndSwap(false, true) {
 			obs.Flight().Event("serve.drift_latch", label, obs.TraceID{})
-			if s.cfg.FlightLog != nil {
-				_ = obs.Flight().Dump(s.cfg.FlightLog)
-			}
+			s.dumpFlight()
 		}
 	}
 	s.mu.Lock()

@@ -119,8 +119,9 @@ type Config struct {
 	SlowQuantile float64
 	// FlightLog, when set, receives one automatic flight-recorder JSONL
 	// dump on the first drift latch and one on the first non-draining
-	// /healthz 503 (re-armed by a curve swap). The batcher goroutine
-	// writes it; give it a race-free writer.
+	// /healthz 503 (re-armed by a curve swap). The dumps come from
+	// different goroutines (batcher and HTTP handlers) but the server
+	// serializes them, so a plain *os.File works.
 	FlightLog io.Writer
 
 	// SlowdownFactor > 1 stretches every batch's wall time by that
@@ -193,6 +194,11 @@ type Server struct {
 	// slowNs is the live "slow request" threshold for tail sampling,
 	// re-derived from the request-latency quantile after each batch.
 	slowNs atomic.Int64
+	// flightMu serializes the automatic FlightLog dumps: the drift latch
+	// (batcher goroutine) and the /healthz 503 transition (handler
+	// goroutine) can fire concurrently, and FlightLog is typically a
+	// plain *os.File whose JSONL lines must not interleave.
+	flightMu sync.Mutex
 	// driftLatched / healthDumped gate the one-shot automatic flight
 	// dumps (re-armed by a curve swap).
 	driftLatched atomic.Bool
@@ -677,11 +683,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	// a flight dump behind while the evidence is still in the ring.
 	if code == http.StatusServiceUnavailable && !draining && s.healthDumped.CompareAndSwap(false, true) {
 		obs.Flight().Event("serve.healthz_503", body.Status, obs.TraceID{})
-		if s.cfg.FlightLog != nil {
-			_ = obs.Flight().Dump(s.cfg.FlightLog)
-		}
+		s.dumpFlight()
 	}
 	writeJSON(w, code, body)
+}
+
+// dumpFlight writes one flight-recorder dump to the configured
+// FlightLog, serialized against concurrent automatic dumps from other
+// goroutines. No-op without a FlightLog.
+func (s *Server) dumpFlight() {
+	if s.cfg.FlightLog == nil {
+		return
+	}
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	_ = obs.Flight().Dump(s.cfg.FlightLog)
 }
 
 // StatzBody is the GET /statz reply: queue, counters, the active

@@ -91,9 +91,9 @@ func traceScenario(t *testing.T) (*Server, *obs.TailSampler, *bytes.Buffer, *Loa
 // TestServeTraceAcceptance is the end-to-end demo pinned by the issue:
 // a seeded run with an injected ×3 slowdown must produce (a) a kept
 // tail-sampled trace crossing admission → batch → execute → tuner,
-// (b) a flight dump carrying drift and config-switch events, and (c) a
-// Prometheus exposition whose serve-latency exemplar points at a kept
-// trace.
+// (b) a flight dump carrying drift and config-switch events, and (c) an
+// OpenMetrics exposition whose serve-latency bucket exemplar points at a
+// kept trace (the classic text format stays exemplar-free).
 func TestServeTraceAcceptance(t *testing.T) {
 	s, sampler, flight, rep := traceScenario(t)
 	defer s.Close()
@@ -129,6 +129,22 @@ func TestServeTraceAcceptance(t *testing.T) {
 		t.Errorf("no kept trace contains all of %v; kept: %+v", wantSpans, kept)
 	}
 
+	// Batch traces are dropped from the sampler right after their linked
+	// fan-out, so once every request's verdict is in, the pending map
+	// must drain to empty — nothing may sit pinned until eviction. The
+	// last finishRequest can lag the last HTTP response by a beat, so
+	// poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for sampler.PendingCount() > 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := sampler.PendingCount(); n != 0 {
+		t.Errorf("tail sampler still holds %d pending traces after all requests finished; batch traces leak", n)
+	}
+	if _, _, evicted := sampler.Stats(); evicted != 0 {
+		t.Errorf("tail sampler evicted %d undecided traces in a run far below MaxPending", evicted)
+	}
+
 	// (b) The drift latch dumped the flight ring at alarm time; the dump
 	// holds the alarm and the latch marker (the first config switch lands
 	// after the latch in this scenario, so it is asserted on the live ring
@@ -158,8 +174,9 @@ func TestServeTraceAcceptance(t *testing.T) {
 	}
 
 	// (c) Exemplars: every exemplar on the request-latency histogram must
-	// reference a kept (retrievable) trace, and the Prometheus exposition
-	// must carry at least one on a serve_request_seconds quantile line.
+	// reference a kept (retrievable) trace, and the OpenMetrics exposition
+	// must carry at least one on a serve_request_seconds bucket line. The
+	// classic text format has no exemplar grammar, so it must stay clean.
 	snap := qRequest.Snapshot()
 	var promTID string
 	for _, q := range []float64{0.5, 0.9, 0.99} {
@@ -174,19 +191,26 @@ func TestServeTraceAcceptance(t *testing.T) {
 		t.Fatal("no exemplar near any rendered quantile; exposition would carry none")
 	}
 	var buf bytes.Buffer
-	if err := obs.Default.WritePrometheus(&buf); err != nil {
+	if err := obs.Default.WriteOpenMetrics(&buf); err != nil {
 		t.Fatal(err)
 	}
 	found := false
 	for _, line := range strings.Split(buf.String(), "\n") {
-		if strings.HasPrefix(line, "serve_request_seconds{") &&
+		if strings.HasPrefix(line, "serve_request_seconds_bucket{") &&
 			strings.Contains(line, `trace_id="`+promTID+`"`) {
 			found = true
 			break
 		}
 	}
 	if !found {
-		t.Errorf("prometheus exposition has no serve_request_seconds exemplar for kept trace %s", promTID)
+		t.Errorf("openmetrics exposition has no serve_request_seconds bucket exemplar for kept trace %s", promTID)
+	}
+	var classic bytes.Buffer
+	if err := obs.Default.WritePrometheus(&classic); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(classic.String(), "# {") {
+		t.Error("classic prometheus exposition carries exemplar syntax; 0.0.4 scrapers would reject it")
 	}
 
 	// The loadgen report's slowest-trace section must point at server-side
